@@ -1,0 +1,39 @@
+// Command dashboard serves a workflow output directory as an interactive
+// dashboard.
+//
+// Example:
+//
+//	dashboard -dir out -addr :8080
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"slurmsight/internal/dashboard"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dashboard: ")
+
+	var (
+		dir  = flag.String("dir", "out", "workflow output directory to serve")
+		addr = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	srv, err := dashboard.New(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %s on %s", *dir, *addr)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(httpServer.ListenAndServe())
+}

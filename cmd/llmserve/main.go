@@ -1,0 +1,37 @@
+// Command llmserve runs the mock multimodal LLM API: the deterministic
+// chart analyst behind a Gemma-style JSON endpoint with bearer-token auth
+// and rate limiting. The workflow's AI stages point at it via -llm-url.
+//
+// Example:
+//
+//	llmserve -addr :9090 -key sk-local-dev
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("llmserve: ")
+
+	var (
+		addr  = flag.String("addr", ":9090", "listen address")
+		key   = flag.String("key", "", "API key (empty disables auth)")
+		rate  = flag.Float64("rate", 10, "requests per second per key (0 disables limiting)")
+		burst = flag.Float64("burst", 20, "rate-limit burst size")
+	)
+	flag.Parse()
+
+	server := newServer(*key, *rate, *burst)
+	log.Printf("serving the %s analyst on %s", server.ModelName, *addr)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           server.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(httpServer.ListenAndServe())
+}

@@ -1,0 +1,16 @@
+package main
+
+import "slurmsight/internal/llm"
+
+// newServer configures the analyst endpoint from flags.
+func newServer(key string, rate, burst float64) *llm.Server {
+	var server *llm.Server
+	if key != "" {
+		server = llm.NewServer(key)
+	} else {
+		server = llm.NewServer()
+	}
+	server.RatePerSec = rate
+	server.Burst = burst
+	return server
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	"slurmsight/internal/sacct"
+)
+
+func TestParseDates(t *testing.T) {
+	cases := []struct {
+		in        string
+		wantStart string
+		wantEnd   string
+	}{
+		// Month form: END month is inclusive.
+		{"2024-01:2024-12", "2024-01-01", "2025-01-01"},
+		{"2024-03:2024-03", "2024-03-01", "2024-04-01"},
+		// Full-date form: END is exclusive as given.
+		{"2024-01-15:2024-02-20", "2024-01-15", "2024-02-20"},
+		// Year form.
+		{"2023:2024", "2023-01-01", "2025-01-01"},
+		// Mixed forms.
+		{"2024-01-15:2024-02", "2024-01-15", "2024-03-01"},
+	}
+	for _, c := range cases {
+		start, end, err := parseDates(c.in, sacct.Monthly)
+		if err != nil {
+			t.Errorf("parseDates(%q): %v", c.in, err)
+			continue
+		}
+		if got := start.Format("2006-01-02"); got != c.wantStart {
+			t.Errorf("parseDates(%q) start = %s, want %s", c.in, got, c.wantStart)
+		}
+		if got := end.Format("2006-01-02"); got != c.wantEnd {
+			t.Errorf("parseDates(%q) end = %s, want %s", c.in, got, c.wantEnd)
+		}
+	}
+}
+
+func TestParseDatesErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "2024-01", "junk:2024-02", "2024-02:junk",
+		"2024-05:2024-01", // empty window
+		"2024-01-10:2024-01-10",
+	} {
+		if _, _, err := parseDates(in, sacct.Monthly); err == nil {
+			t.Errorf("parseDates(%q): want error", in)
+		}
+	}
+}
+
+func TestMonthsRangeEmpty(t *testing.T) {
+	if got := monthsRange(sacct.NewStore()); got != "empty" {
+		t.Errorf("monthsRange(empty) = %q", got)
+	}
+}
+
+func TestSecsFormatting(t *testing.T) {
+	if got := secs(90); got != "1m30s" {
+		t.Errorf("secs(90) = %q", got)
+	}
+	if got := secs(0); got != "0s" {
+		t.Errorf("secs(0) = %q", got)
+	}
+}

@@ -1,0 +1,141 @@
+// Policy advisor: the paper's §6 future-work features made concrete —
+// AI-predicted walltime estimation embedded into submission, with a
+// what-if re-simulation that quantifies dynamic rescheduling and time
+// reclamation, and an LLM comparison narrating the before/after.
+//
+// The experiment: replay a contended Frontier workload twice — once with
+// the users' own (over-estimated) walltime requests and once with the
+// predictor's tightened requests — and compare queue waits, backfill
+// activity, and the timeout risk the predictor introduces.
+//
+//	go run ./examples/policy-advisor
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"slurmsight/internal/analyze"
+	"slurmsight/internal/cluster"
+	"slurmsight/internal/core"
+	"slurmsight/internal/llm"
+	"slurmsight/internal/predict"
+	"slurmsight/internal/raster"
+	"slurmsight/internal/sched"
+	"slurmsight/internal/slurm"
+	"slurmsight/internal/tracegen"
+)
+
+func simulate(reqs []tracegen.Request) *sched.Result {
+	sim, err := sched.New(sched.DefaultConfig(cluster.Frontier()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(reqs, sched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	log.SetFlags(0)
+	start := time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+	profile := tracegen.FrontierProfile()
+	profile.JobsPerDay = 320
+	profile.Users = 150
+	reqs, err := tracegen.Generate([]tracegen.Phase{{
+		Profile: profile, Start: start, End: start.AddDate(0, 0, 45),
+	}}, 19)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Baseline: the users' own requests ---
+	baseline := simulate(reqs)
+	fmt.Printf("baseline:   %.1f%% utilization, mean wait %9s, %4d backfilled, %4d timeouts\n",
+		100*baseline.Stats.Utilization(), baseline.Stats.MeanWait().Round(time.Second),
+		baseline.Stats.Backfilled, baseline.Stats.JobsTimeout)
+
+	// --- Offline evaluation of the predictor on the baseline trace ---
+	p := predict.NewPredictor()
+	ev, err := predict.Evaluate(baseline.Jobs, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredictor replay over the baseline trace:\n")
+	fmt.Printf("  covered %d of %d jobs (warmup excluded)\n", ev.Covered, ev.Jobs)
+	fmt.Printf("  reclaimed %.0f of %.0f reclaimable node-hours (%.0f%%)\n",
+		ev.ReclaimedNodeHours, ev.ReclaimableNodeHours, 100*ev.ReclaimedShare())
+	fmt.Printf("  timeout risk %.2f%% of covered jobs\n", 100*ev.TimeoutRisk)
+
+	// --- What-if: resubmit with predicted walltimes ---
+	whatIf := make([]tracegen.Request, len(reqs))
+	copy(whatIf, reqs)
+	tightened := predict.ApplyToRequests(len(whatIf), predict.NewPredictor(),
+		func(i int) (string, string, time.Duration, time.Duration) {
+			r := &whatIf[i]
+			return r.User, r.Class, r.Timelimit, r.TrueRuntime
+		},
+		func(i int, limit time.Duration) { whatIf[i].Timelimit = limit })
+	fmt.Printf("\nwhat-if resubmission: %d of %d requests tightened\n", tightened, len(whatIf))
+
+	predicted := simulate(whatIf)
+	fmt.Printf("predicted:  %.1f%% utilization, mean wait %9s, %4d backfilled, %4d timeouts\n",
+		100*predicted.Stats.Utilization(), predicted.Stats.MeanWait().Round(time.Second),
+		predicted.Stats.Backfilled, predicted.Stats.JobsTimeout)
+
+	meanBase := baseline.Stats.MeanWait()
+	meanPred := predicted.Stats.MeanWait()
+	if meanBase > 0 {
+		fmt.Printf("\nqueue wait change: %s → %s (%+.1f%%)\n",
+			meanBase.Round(time.Second), meanPred.Round(time.Second),
+			100*(float64(meanPred)-float64(meanBase))/float64(meanBase))
+	}
+	fmt.Printf("timeout change: %d → %d (the price of prediction risk)\n",
+		baseline.Stats.JobsTimeout, predicted.Stats.JobsTimeout)
+	bfBase := analyze.SummarizeBackfill(analyze.RequestedVsActual(baseline.Jobs))
+	bfPred := analyze.SummarizeBackfill(analyze.RequestedVsActual(predicted.Jobs))
+	fmt.Printf("median walltime-use ratio: %.0f%% → %.0f%%\n",
+		100*bfBase.MedianUseRatio, 100*bfPred.MedianUseRatio)
+
+	// --- LLM comparison of the two schedules' wait profiles ---
+	analyst := httptest.NewServer(llm.NewServer("sk-advisor").Handler())
+	defer analyst.Close()
+	client := llm.NewClient(analyst.URL, "sk-advisor")
+
+	chartA := core.WaitChart("baseline requests", jobsOf(baseline))
+	chartB := core.WaitChart("predicted requests", jobsOf(predicted))
+	pngA, err := raster.PNG(chartA, 960, 540)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pngB, err := raster.PNG(chartB, 960, 540)
+	if err != nil {
+		log.Fatal(err)
+	}
+	imgA, err := llm.EncodeImage("baseline", pngA, chartA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	imgB, err := llm.EncodeImage("predicted", pngB, chartB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := client.Analyze(context.Background(), llm.ComparePrompt, imgA, imgB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== LLM comparison of the two schedules ==")
+	text := resp.Text
+	if i := strings.Index(text, "\n\nFirst chart:"); i > 0 {
+		text = text[:i]
+	}
+	fmt.Println(text)
+}
+
+func jobsOf(res *sched.Result) []slurm.Record { return res.Jobs }

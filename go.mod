@@ -1,0 +1,3 @@
+module slurmsight
+
+go 1.22

@@ -1,0 +1,98 @@
+package analyze
+
+import (
+	"sort"
+
+	"slurmsight/internal/slurm"
+	"slurmsight/internal/stats"
+)
+
+// ClassSummary aggregates one workload class (the simulator records the
+// class in the Comment field; real sites commonly tag jobs the same way).
+type ClassSummary struct {
+	Class          string
+	Jobs           int
+	NodeHours      float64 // consumed capacity
+	MedianWaitS    float64
+	MedianNodes    float64
+	FailedShare    float64 // failed/cancelled/node-fail/OOM share
+	MedianUseRatio float64 // actual/requested walltime
+	BackfillShare  float64
+}
+
+// PerClass breaks the trace down by workload class, sorted by consumed
+// node-hours descending — the "who actually uses the machine, and how
+// well" table behind the figures.
+func PerClass(jobs []slurm.Record) []ClassSummary {
+	type acc struct {
+		jobs      int
+		nodeHours float64
+		waits     []float64
+		nodes     []float64
+		ratios    []float64
+		bad       int
+		backfill  int
+		started   int
+	}
+	byClass := map[string]*acc{}
+	for i := range jobs {
+		r := &jobs[i]
+		if r.IsStep() {
+			continue
+		}
+		class := r.Comment
+		if class == "" {
+			class = "(untagged)"
+		}
+		a, ok := byClass[class]
+		if !ok {
+			a = &acc{}
+			byClass[class] = a
+		}
+		a.jobs++
+		a.nodes = append(a.nodes, float64(r.NNodes))
+		switch r.State {
+		case slurm.StateFailed, slurm.StateCancelled, slurm.StateNodeFail, slurm.StateOutOfMemory:
+			a.bad++
+		}
+		if r.Start.IsZero() {
+			continue
+		}
+		a.started++
+		a.nodeHours += float64(r.NNodes) * r.Elapsed.Hours()
+		if w, ok := r.WaitTime(); ok {
+			a.waits = append(a.waits, w.Seconds())
+		}
+		if r.Timelimit > 0 {
+			a.ratios = append(a.ratios, float64(r.Elapsed)/float64(r.Timelimit))
+		}
+		if r.Backfilled() {
+			a.backfill++
+		}
+	}
+	out := make([]ClassSummary, 0, len(byClass))
+	for class, a := range byClass {
+		s := ClassSummary{
+			Class:     class,
+			Jobs:      a.jobs,
+			NodeHours: a.nodeHours,
+		}
+		s.MedianWaitS, _ = stats.Quantile(a.waits, 0.5)
+		s.MedianNodes, _ = stats.Quantile(a.nodes, 0.5)
+		s.MedianUseRatio, _ = stats.Quantile(a.ratios, 0.5)
+		if a.jobs > 0 {
+			s.FailedShare = float64(a.bad) / float64(a.jobs)
+		}
+		if a.started > 0 {
+			s.BackfillShare = float64(a.backfill) / float64(a.started)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NodeHours != out[j].NodeHours {
+			return out[i].NodeHours > out[j].NodeHours
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}

@@ -1,0 +1,213 @@
+// Package analyze computes the per-figure aggregations of the paper's
+// evaluation: job/step volume by year (Fig. 1), allocated nodes versus
+// elapsed time (Figs. 3 and 7), queue wait times by final state (Fig. 4),
+// job end states per user (Figs. 5 and 8), and requested-versus-actual
+// walltimes split by backfill (Figs. 6 and 9) — plus the cross-system
+// comparison used by the portability study (§4.3).
+package analyze
+
+import (
+	"sort"
+	"time"
+
+	"slurmsight/internal/slurm"
+)
+
+// VolumeByYear is one Figure 1 bar pair.
+type VolumeByYear struct {
+	Year  int
+	Jobs  int64
+	Steps int64
+}
+
+// JobStepVolume bins records into per-year job and step counts. Pass the
+// full record set (jobs and steps mixed); steps are recognised by their
+// IDs.
+func JobStepVolume(records []slurm.Record) []VolumeByYear {
+	byYear := map[int]*VolumeByYear{}
+	for i := range records {
+		r := &records[i]
+		y := r.Year()
+		v, ok := byYear[y]
+		if !ok {
+			v = &VolumeByYear{Year: y}
+			byYear[y] = v
+		}
+		if r.IsStep() {
+			v.Steps++
+		} else {
+			v.Jobs++
+		}
+	}
+	out := make([]VolumeByYear, 0, len(byYear))
+	for _, v := range byYear {
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Year < out[j].Year })
+	return out
+}
+
+// JobStepVolumeCounted bins job records by year using pre-counted step
+// totals (for runs where step records were not materialized).
+func JobStepVolumeCounted(jobs []slurm.Record, stepsPerJob []int) []VolumeByYear {
+	byYear := map[int]*VolumeByYear{}
+	for i := range jobs {
+		y := jobs[i].Year()
+		v, ok := byYear[y]
+		if !ok {
+			v = &VolumeByYear{Year: y}
+			byYear[y] = v
+		}
+		v.Jobs++
+		if i < len(stepsPerJob) {
+			v.Steps += int64(stepsPerJob[i])
+		}
+	}
+	out := make([]VolumeByYear, 0, len(byYear))
+	for _, v := range byYear {
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Year < out[j].Year })
+	return out
+}
+
+// StepJobRatio returns total steps over total jobs across years.
+func StepJobRatio(vols []VolumeByYear) float64 {
+	var jobs, steps int64
+	for _, v := range vols {
+		jobs += v.Jobs
+		steps += v.Steps
+	}
+	if jobs == 0 {
+		return 0
+	}
+	return float64(steps) / float64(jobs)
+}
+
+// NodesElapsedPoint is one Figure 3/7 scatter point.
+type NodesElapsedPoint struct {
+	Nodes      int64
+	ElapsedSec float64
+	State      slurm.State
+}
+
+// NodesVsElapsed extracts the allocation-versus-runtime scatter from job
+// records. Jobs that never started are skipped (no elapsed time).
+func NodesVsElapsed(jobs []slurm.Record) []NodesElapsedPoint {
+	out := make([]NodesElapsedPoint, 0, len(jobs))
+	for i := range jobs {
+		r := &jobs[i]
+		if r.IsStep() || r.Start.IsZero() || r.Elapsed <= 0 {
+			continue
+		}
+		out = append(out, NodesElapsedPoint{
+			Nodes:      r.NNodes,
+			ElapsedSec: r.Elapsed.Seconds(),
+			State:      r.State,
+		})
+	}
+	return out
+}
+
+// WaitPoint is one Figure 4 scatter point: submission time on x, queue
+// wait on y, coloured by final state.
+type WaitPoint struct {
+	Submit  time.Time
+	WaitSec float64
+	State   slurm.State
+}
+
+// WaitTimes extracts queue waits from job records; never-started jobs are
+// skipped (they have no wait).
+func WaitTimes(jobs []slurm.Record) []WaitPoint {
+	out := make([]WaitPoint, 0, len(jobs))
+	for i := range jobs {
+		r := &jobs[i]
+		if r.IsStep() {
+			continue
+		}
+		w, ok := r.WaitTime()
+		if !ok {
+			continue
+		}
+		out = append(out, WaitPoint{Submit: r.Submit, WaitSec: w.Seconds(), State: r.State})
+	}
+	return out
+}
+
+// UserStates is one Figure 5/8 stacked bar: a user's terminal-state mix.
+type UserStates struct {
+	User   string
+	Counts map[slurm.State]int
+	Total  int
+}
+
+// FailedShare returns the user's failed+cancelled fraction.
+func (u *UserStates) FailedShare() float64 {
+	if u.Total == 0 {
+		return 0
+	}
+	bad := u.Counts[slurm.StateFailed] + u.Counts[slurm.StateCancelled] +
+		u.Counts[slurm.StateNodeFail] + u.Counts[slurm.StateOutOfMemory]
+	return float64(bad) / float64(u.Total)
+}
+
+// StatesPerUser aggregates terminal states per user, sorted by job count
+// descending. topN ≤ 0 keeps every user.
+func StatesPerUser(jobs []slurm.Record, topN int) []UserStates {
+	byUser := map[string]*UserStates{}
+	for i := range jobs {
+		r := &jobs[i]
+		if r.IsStep() {
+			continue
+		}
+		u, ok := byUser[r.User]
+		if !ok {
+			u = &UserStates{User: r.User, Counts: map[slurm.State]int{}}
+			byUser[r.User] = u
+		}
+		u.Counts[r.State]++
+		u.Total++
+	}
+	out := make([]UserStates, 0, len(byUser))
+	for _, u := range byUser {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].User < out[j].User
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// BackfillPoint is one Figure 6/9 scatter point.
+type BackfillPoint struct {
+	RequestedSec float64
+	ActualSec    float64
+	Backfilled   bool
+	State        slurm.State
+}
+
+// RequestedVsActual extracts the walltime-estimation scatter from job
+// records; never-started jobs are skipped.
+func RequestedVsActual(jobs []slurm.Record) []BackfillPoint {
+	out := make([]BackfillPoint, 0, len(jobs))
+	for i := range jobs {
+		r := &jobs[i]
+		if r.IsStep() || r.Start.IsZero() || r.Timelimit <= 0 {
+			continue
+		}
+		out = append(out, BackfillPoint{
+			RequestedSec: r.Timelimit.Seconds(),
+			ActualSec:    r.Elapsed.Seconds(),
+			Backfilled:   r.Backfilled(),
+			State:        r.State,
+		})
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package analyze
+
+import (
+	"sort"
+	"time"
+
+	"slurmsight/internal/slurm"
+)
+
+// TimelinePoint is one bucket of a system-load timeline.
+type TimelinePoint struct {
+	At         time.Time
+	BusyNodes  float64 // node allocation averaged over the bucket
+	QueueDepth float64 // pending jobs averaged over the bucket
+	Started    int     // jobs dispatched in the bucket
+	Submitted  int     // jobs submitted in the bucket
+}
+
+// Timeline reconstructs system load from job records: for each bucket of
+// the given width it reports average allocated nodes, average queue depth
+// (submitted-but-not-started jobs), and dispatch/submission counts. It is
+// the utilization view sysadmins read next to the paper's figures.
+func Timeline(jobs []slurm.Record, bucket time.Duration) []TimelinePoint {
+	if bucket <= 0 {
+		bucket = time.Hour
+	}
+	type edge struct {
+		at    time.Time
+		nodes int64 // ± allocation
+		queue int   // ± queue depth
+		start bool
+		sub   bool
+	}
+	var edges []edge
+	var lo, hi time.Time
+	for i := range jobs {
+		r := &jobs[i]
+		if r.IsStep() || r.Submit.IsZero() {
+			continue
+		}
+		if lo.IsZero() || r.Submit.Before(lo) {
+			lo = r.Submit
+		}
+		endOfLife := r.End
+		if endOfLife.IsZero() {
+			endOfLife = r.Submit
+		}
+		if endOfLife.After(hi) {
+			hi = endOfLife
+		}
+		edges = append(edges, edge{at: r.Submit, queue: +1, sub: true})
+		if r.Start.IsZero() {
+			// Never ran: leaves the queue at its end (cancellation).
+			edges = append(edges, edge{at: endOfLife, queue: -1})
+			continue
+		}
+		edges = append(edges, edge{at: r.Start, queue: -1, nodes: +r.NNodes, start: true})
+		edges = append(edges, edge{at: r.End, nodes: -r.NNodes})
+	}
+	if len(edges) == 0 || !lo.Before(hi) {
+		return nil
+	}
+	sort.SliceStable(edges, func(a, b int) bool { return edges[a].at.Before(edges[b].at) })
+
+	nBuckets := int(hi.Sub(lo)/bucket) + 1
+	points := make([]TimelinePoint, nBuckets)
+	for i := range points {
+		points[i].At = lo.Add(time.Duration(i) * bucket)
+	}
+	// Sweep: integrate busy nodes and queue depth across bucket
+	// boundaries.
+	var busy int64
+	var queue int
+	cursor := lo
+	idx := 0
+	accumulate := func(until time.Time) {
+		for cursor.Before(until) {
+			b := int(cursor.Sub(lo) / bucket)
+			if b >= nBuckets {
+				return
+			}
+			bucketEnd := lo.Add(time.Duration(b+1) * bucket)
+			segEnd := until
+			if bucketEnd.Before(segEnd) {
+				segEnd = bucketEnd
+			}
+			frac := float64(segEnd.Sub(cursor)) / float64(bucket)
+			points[b].BusyNodes += float64(busy) * frac
+			points[b].QueueDepth += float64(queue) * frac
+			cursor = segEnd
+		}
+	}
+	for idx < len(edges) {
+		accumulate(edges[idx].at)
+		at := edges[idx].at
+		for idx < len(edges) && edges[idx].at.Equal(at) {
+			e := edges[idx]
+			busy += e.nodes
+			queue += e.queue
+			b := int(at.Sub(lo) / bucket)
+			if b >= 0 && b < nBuckets {
+				if e.start {
+					points[b].Started++
+				}
+				if e.sub {
+					points[b].Submitted++
+				}
+			}
+			idx++
+		}
+	}
+	accumulate(hi)
+	return points
+}
+
+// UtilizationSummary condenses a timeline against a system capacity.
+type UtilizationSummary struct {
+	Buckets         int
+	MeanBusyNodes   float64
+	PeakBusyNodes   float64
+	MeanUtilization float64 // vs. capacity
+	PeakQueueDepth  float64
+	MeanQueueDepth  float64
+}
+
+// SummarizeTimeline computes the load summary for a node capacity.
+func SummarizeTimeline(points []TimelinePoint, capacityNodes int) UtilizationSummary {
+	out := UtilizationSummary{Buckets: len(points)}
+	if len(points) == 0 || capacityNodes <= 0 {
+		return out
+	}
+	var busySum, queueSum float64
+	for _, p := range points {
+		busySum += p.BusyNodes
+		queueSum += p.QueueDepth
+		if p.BusyNodes > out.PeakBusyNodes {
+			out.PeakBusyNodes = p.BusyNodes
+		}
+		if p.QueueDepth > out.PeakQueueDepth {
+			out.PeakQueueDepth = p.QueueDepth
+		}
+	}
+	out.MeanBusyNodes = busySum / float64(len(points))
+	out.MeanQueueDepth = queueSum / float64(len(points))
+	out.MeanUtilization = out.MeanBusyNodes / float64(capacityNodes)
+	return out
+}
+
+// ThroughputByDay counts completed jobs per calendar day — the
+// high-turnover view relevant to Andes-style systems.
+func ThroughputByDay(jobs []slurm.Record) map[string]int {
+	out := map[string]int{}
+	for i := range jobs {
+		r := &jobs[i]
+		if r.IsStep() || r.End.IsZero() || !r.State.Success() {
+			continue
+		}
+		out[r.End.UTC().Format("2006-01-02")]++
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+// Package core is the paper's primary contribution: the hybrid workflow
+// that turns a Slurm accounting database into curated datasets,
+// field-specific interactive visualizations, a consolidated dashboard, and
+// LLM-generated interpretations. The static data-analysis subworkflow
+// (obtain → curate → plot → dashboard) and the user-defined AI subworkflow
+// (HTML2PNG → LLM insight / LLM compare) are composed as a dataflow graph
+// and executed with N-way concurrency, mirroring the Swift/T parallel
+// pipelines of §3.3.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"slurmsight/internal/analyze"
+	"slurmsight/internal/plot"
+	"slurmsight/internal/slurm"
+)
+
+// Figure keys name the workflow's chart artifacts; they match the paper's
+// figure numbering for the Frontier run.
+const (
+	FigVolume       = "fig1-volume"
+	FigNodesElapsed = "fig3-nodes-vs-elapsed"
+	FigWaitTimes    = "fig4-wait-times"
+	FigStates       = "fig5-states-per-user"
+	FigBackfill     = "fig6-requested-vs-actual"
+)
+
+// FigureKeys returns the static figure set in presentation order.
+func FigureKeys() []string {
+	return []string{FigVolume, FigNodesElapsed, FigWaitTimes, FigStates, FigBackfill}
+}
+
+// Extended (non-paper) operator figures.
+const (
+	ExtLoad       = "ext-load-timeline"
+	ExtQueueDepth = "ext-queue-depth"
+)
+
+// ExtendedFigureKeys returns the operator figure set.
+func ExtendedFigureKeys() []string { return []string{ExtLoad, ExtQueueDepth} }
+
+// maxChartPoints bounds scatter sizes in HTML/PNG artifacts.
+const maxChartPoints = 20000
+
+// VolumeChart builds the Figure 1 grouped bars from the full record set
+// (jobs and steps).
+func VolumeChart(system string, records []slurm.Record) *plot.Chart {
+	vols := analyze.JobStepVolume(records)
+	return volumeChartOf(system, vols)
+}
+
+// VolumeChartCounted is VolumeChart for runs without materialized steps.
+func VolumeChartCounted(system string, jobs []slurm.Record, stepsPerJob []int) *plot.Chart {
+	return volumeChartOf(system, analyze.JobStepVolumeCounted(jobs, stepsPerJob))
+}
+
+func volumeChartOf(system string, vols []analyze.VolumeByYear) *plot.Chart {
+	cats := make([]string, len(vols))
+	jobs := make([]float64, len(vols))
+	steps := make([]float64, len(vols))
+	for i, v := range vols {
+		cats[i] = strconv.Itoa(v.Year)
+		jobs[i] = float64(v.Jobs)
+		steps[i] = float64(v.Steps)
+	}
+	return &plot.Chart{
+		Title:  fmt.Sprintf("Jobs and job-steps per year on %s", system),
+		XLabel: "year", YLabel: "count",
+		Kind: plot.GroupedBar, YScale: plot.Log10,
+		Categories: cats,
+		Series: []plot.Series{
+			{Name: "jobs", Y: jobs, Color: "#1f77b4"},
+			{Name: "job-steps", Y: steps, Color: "#ff7f0e"},
+		},
+	}
+}
+
+// NodesElapsedChart builds the Figure 3/7 log-log scatter.
+func NodesElapsedChart(system string, jobs []slurm.Record) *plot.Chart {
+	points := analyze.NodesVsElapsed(jobs)
+	perState := map[slurm.State]*plot.Series{}
+	for _, p := range points {
+		s, ok := perState[p.State]
+		if !ok {
+			s = &plot.Series{Name: p.State.String(), Color: plot.StateColor(p.State), Marker: plot.Dot}
+			perState[p.State] = s
+		}
+		s.X = append(s.X, p.ElapsedSec)
+		s.Y = append(s.Y, float64(p.Nodes))
+	}
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("Allocated nodes versus job elapsed time on %s", system),
+		XLabel: "elapsed time (s)", YLabel: "allocated nodes",
+		Kind: plot.Scatter, XScale: plot.Log10, YScale: plot.Log10,
+		Series: orderedStateSeries(perState),
+	}
+	return c.Downsample(maxChartPoints)
+}
+
+// WaitChart builds the Figure 4 wait-time scatter, colour-coded by final
+// state.
+func WaitChart(system string, jobs []slurm.Record) *plot.Chart {
+	points := analyze.WaitTimes(jobs)
+	perState := map[slurm.State]*plot.Series{}
+	for _, p := range points {
+		s, ok := perState[p.State]
+		if !ok {
+			s = &plot.Series{Name: p.State.String(), Color: plot.StateColor(p.State), Marker: plot.Dot}
+			perState[p.State] = s
+		}
+		// Log axes reject zero; a sub-second wait reads as one second.
+		w := p.WaitSec
+		if w < 1 {
+			w = 1
+		}
+		s.X = append(s.X, float64(p.Submit.Unix()))
+		s.Y = append(s.Y, w)
+	}
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("Job queue wait times on %s by final state", system),
+		XLabel: "submission time", YLabel: "wait time (s)",
+		Kind: plot.Scatter, YScale: plot.Log10, XTime: true,
+		Series: orderedStateSeries(perState),
+	}
+	return c.Downsample(maxChartPoints)
+}
+
+// StatesChart builds the Figure 5/8 stacked bars for the busiest topN
+// users.
+func StatesChart(system string, jobs []slurm.Record, topN int) *plot.Chart {
+	users := analyze.StatesPerUser(jobs, topN)
+	cats := make([]string, len(users))
+	series := []plot.Series{}
+	for _, st := range slurm.TerminalStates() {
+		ys := make([]float64, len(users))
+		any := false
+		for i := range users {
+			cats[i] = users[i].User
+			if n := users[i].Counts[st]; n > 0 {
+				ys[i] = float64(n)
+				any = true
+			}
+		}
+		if any {
+			series = append(series, plot.Series{Name: st.String(), Y: ys, Color: plot.StateColor(st)})
+		}
+	}
+	return &plot.Chart{
+		Title:  fmt.Sprintf("Job end states per user on %s", system),
+		XLabel: "user", YLabel: "jobs",
+		Kind:       plot.StackedBar,
+		Categories: cats,
+		Series:     series,
+	}
+}
+
+// BackfillChart builds the Figure 6/9 requested-versus-actual scatter with
+// backfilled jobs marked by plus symbols.
+func BackfillChart(system string, jobs []slurm.Record) *plot.Chart {
+	points := analyze.RequestedVsActual(jobs)
+	regular := plot.Series{Name: "regular", Marker: plot.Dot, Color: "#1f77b4"}
+	backfilled := plot.Series{Name: "backfilled", Marker: plot.Plus, Color: "#d62728"}
+	for _, p := range points {
+		a := p.ActualSec
+		if a < 1 {
+			a = 1 // log axis floor for instantly-failing jobs
+		}
+		if p.Backfilled {
+			backfilled.X = append(backfilled.X, p.RequestedSec)
+			backfilled.Y = append(backfilled.Y, a)
+		} else {
+			regular.X = append(regular.X, p.RequestedSec)
+			regular.Y = append(regular.Y, a)
+		}
+	}
+	var series []plot.Series
+	for _, s := range []plot.Series{regular, backfilled} {
+		if len(s.Y) > 0 {
+			series = append(series, s)
+		}
+	}
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("Requested versus actual walltimes on %s", system),
+		XLabel: "requested walltime (s)", YLabel: "actual duration (s)",
+		Kind: plot.Scatter, XScale: plot.Log10, YScale: plot.Log10,
+		Series: series,
+	}
+	return c.Downsample(maxChartPoints)
+}
+
+// timelineBucket is the resolution of the operator timelines.
+const timelineBucket = 6 * time.Hour
+
+// LoadTimelineChart builds the extended system-load view: mean busy nodes
+// per bucket with the capacity as a reference series.
+func LoadTimelineChart(system string, jobs []slurm.Record, capacityNodes int) *plot.Chart {
+	points := analyze.Timeline(jobs, timelineBucket)
+	busy := plot.Series{Name: "busy nodes", Color: "#1f77b4"}
+	for _, p := range points {
+		busy.X = append(busy.X, float64(p.At.Unix()))
+		busy.Y = append(busy.Y, p.BusyNodes)
+	}
+	series := []plot.Series{busy}
+	if capacityNodes > 0 && len(busy.X) > 1 {
+		series = append(series, plot.Series{
+			Name:  "capacity",
+			Color: "#d62728",
+			X:     []float64{busy.X[0], busy.X[len(busy.X)-1]},
+			Y:     []float64{float64(capacityNodes), float64(capacityNodes)},
+		})
+	}
+	return &plot.Chart{
+		Title:  fmt.Sprintf("System load over time on %s", system),
+		XLabel: "time", YLabel: "allocated nodes",
+		Kind: plot.Line, XTime: true,
+		Series: series,
+	}
+}
+
+// QueueDepthChart builds the extended queue-pressure view.
+func QueueDepthChart(system string, jobs []slurm.Record) *plot.Chart {
+	points := analyze.Timeline(jobs, timelineBucket)
+	depth := plot.Series{Name: "pending jobs", Color: "#ff7f0e"}
+	for _, p := range points {
+		depth.X = append(depth.X, float64(p.At.Unix()))
+		depth.Y = append(depth.Y, p.QueueDepth)
+	}
+	return &plot.Chart{
+		Title:  fmt.Sprintf("Queue depth over time on %s", system),
+		XLabel: "time", YLabel: "pending jobs",
+		Kind: plot.Line, XTime: true,
+		Series: []plot.Series{depth},
+	}
+}
+
+// orderedStateSeries flattens a per-state series map in canonical state
+// order so artifact output is deterministic.
+func orderedStateSeries(m map[slurm.State]*plot.Series) []plot.Series {
+	states := make([]slurm.State, 0, len(m))
+	for st := range m {
+		states = append(states, st)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+	out := make([]plot.Series, 0, len(states))
+	for _, st := range states {
+		out = append(out, *m[st])
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"slurmsight/internal/slurm"
+)
+
+// WriteReport renders a self-contained markdown analysis report from a
+// run's artifacts — the narrative §4 of the paper, regenerated for the
+// analysed trace. It embeds the figure summaries, links the interactive
+// artifacts, and inlines any LLM interpretations the run produced.
+func WriteReport(art *Artifacts, system string, path string) error {
+	var b strings.Builder
+	s := &art.Summaries
+
+	fmt.Fprintf(&b, "# Scheduling analysis report: %s\n\n", system)
+	fmt.Fprintf(&b, "Curated records: %d (%d jobs, %d steps; %d malformed rows dropped, %.4f%%).\n\n",
+		art.Records, art.Jobs, art.Records-art.Jobs,
+		art.Curation.Malformed, 100*art.Curation.MalformedFraction())
+
+	b.WriteString("## Job and job-step volume\n\n")
+	b.WriteString("| year | jobs | job-steps |\n|---|---|---|\n")
+	for _, v := range s.Volume {
+		fmt.Fprintf(&b, "| %d | %d | %d |\n", v.Year, v.Jobs, v.Steps)
+	}
+	fmt.Fprintf(&b, "\nJob-steps outnumber jobs %.1f to 1: fine-grained srun task execution "+
+		"dominates the machine's real execution units.\n\n", s.StepJobRatio)
+
+	b.WriteString("## Workload scale\n\n")
+	fmt.Fprintf(&b, "The median job allocates %.0f nodes for %s. %.0f%% of jobs are small "+
+		"and short (≤4 nodes, <2 h); %.2f%% are large and long (≥1000 nodes, ≥6 h).\n\n",
+		s.Scale.MedianNodes, humanDur(s.Scale.MedianElapsedSec),
+		100*s.Scale.SmallShortShare, 100*s.Scale.LargeLongShare)
+
+	b.WriteString("## Queue waits\n\n")
+	fmt.Fprintf(&b, "Median wait %s, 90th percentile %s, 99th percentile %s. %.2f%% of jobs "+
+		"waited beyond 100,000 s.\n\n",
+		humanDur(s.Waits.P50), humanDur(s.Waits.P90), humanDur(s.Waits.P99),
+		100*s.Waits.LongWaits)
+	if len(s.Waits.PerState) > 0 {
+		b.WriteString("| final state | jobs | median wait | mean wait |\n|---|---|---|---|\n")
+		states := make([]slurm.State, 0, len(s.Waits.PerState))
+		for st := range s.Waits.PerState {
+			states = append(states, st)
+		}
+		sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+		for _, st := range states {
+			sum := s.Waits.PerState[st]
+			fmt.Fprintf(&b, "| %s | %d | %s | %s |\n",
+				st, sum.N, humanDur(sum.Median), humanDur(sum.Mean))
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("## User behaviour\n\n")
+	fmt.Fprintf(&b, "%d users; mean unsuccessful-job share %.1f%% (std %.2f across users). "+
+		"The top decile of failing users owns %.0f%% of all failures.\n\n",
+		s.Users.Users, 100*s.Users.MeanFailedShare, s.Users.StdFailedShare,
+		100*s.Users.TopDecileFailures)
+
+	b.WriteString("## Walltime estimation and backfill\n\n")
+	fmt.Fprintf(&b, "%.0f%% of jobs use less than 75%% of their requested walltime; the "+
+		"median job uses %.0f%%. %.1f%% of started jobs were backfill placements "+
+		"(median runtime %s vs %s for regular starts). A perfect predictor would "+
+		"reclaim %.0f node-hours.\n\n",
+		100*s.Backfill.OverestimateShare, 100*s.Backfill.MedianUseRatio,
+		100*s.Backfill.BackfilledShare,
+		humanDur(s.Backfill.MedianActualBackfilled), humanDur(s.Backfill.MedianActualRegular),
+		s.Reclaimable)
+
+	if len(s.Classes) > 0 {
+		b.WriteString("## Workload classes\n\n")
+		b.WriteString("| class | jobs | node-hours | median nodes | median wait | failed share | use ratio | backfilled |\n")
+		b.WriteString("|---|---|---|---|---|---|---|---|\n")
+		for _, c := range s.Classes {
+			fmt.Fprintf(&b, "| %s | %d | %.0f | %.0f | %s | %.1f%% | %.0f%% | %.0f%% |\n",
+				c.Class, c.Jobs, c.NodeHours, c.MedianNodes, humanDur(c.MedianWaitS),
+				100*c.FailedShare, 100*c.MedianUseRatio, 100*c.BackfillShare)
+		}
+		b.WriteString("\n")
+	}
+
+	if s.Load.Buckets > 0 {
+		b.WriteString("## System load\n\n")
+		fmt.Fprintf(&b, "Mean utilization %.0f%% (peak %.0f busy nodes); queue depth "+
+			"averaged %.1f pending jobs and peaked at %.0f.\n\n",
+			100*s.Load.MeanUtilization, s.Load.PeakBusyNodes,
+			s.Load.MeanQueueDepth, s.Load.PeakQueueDepth)
+	}
+
+	b.WriteString("## Artifacts\n\n")
+	keys := make([]string, 0, len(art.Figures))
+	for k := range art.Figures {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		fig := art.Figures[key]
+		fmt.Fprintf(&b, "- [%s](%s)", key, fileBase(fig.HTMLPath))
+		if fig.InsightPath != "" {
+			fmt.Fprintf(&b, " — [LLM insight](%s)", fileBase(fig.InsightPath))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "- [dashboard](%s)\n- [dataflow graph](%s)\n",
+		fileBase(art.DashboardPath), fileBase(art.DOTPath))
+	if art.ComparePath != "" {
+		fmt.Fprintf(&b, "- [wait-time comparison](%s)\n", fileBase(art.ComparePath))
+	}
+	b.WriteString("\n")
+
+	// Inline the LLM interpretations when present.
+	inlined := false
+	for _, key := range keys {
+		fig := art.Figures[key]
+		if fig.InsightPath == "" {
+			continue
+		}
+		data, err := os.ReadFile(fig.InsightPath)
+		if err != nil {
+			continue
+		}
+		if !inlined {
+			b.WriteString("## LLM interpretations\n\n")
+			inlined = true
+		}
+		fmt.Fprintf(&b, "### %s\n\n%s\n\n", key, extractProse(string(data)))
+	}
+
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// extractProse returns the analysis paragraph of an insight artifact,
+// without its header and statistics appendix.
+func extractProse(md string) string {
+	if i := strings.Index(md, "## Statistics"); i > 0 {
+		md = md[:i]
+	}
+	lines := strings.Split(md, "\n")
+	var keep []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "#") || strings.HasPrefix(l, "model:") {
+			continue
+		}
+		keep = append(keep, l)
+	}
+	return strings.TrimSpace(strings.Join(keep, "\n"))
+}
+
+func fileBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+func humanDur(seconds float64) string {
+	return (time.Duration(seconds) * time.Second).Round(time.Second).String()
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slurmsight/internal/llm"
+)
+
+func TestWriteReport(t *testing.T) {
+	analyst := httptest.NewServer(llm.NewServer("sk-rep").Handler())
+	defer analyst.Close()
+
+	cfg := baseConfig(t)
+	cfg.EnableAI = true
+	cfg.LLM = llm.NewClient(analyst.URL, "sk-rep")
+	cfg.ExtendedFigures = true
+	cfg.SystemNodes = 9408
+	art, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.md")
+	if err := WriteReport(art, "frontier", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(data)
+	for _, want := range []string{
+		"# Scheduling analysis report: frontier",
+		"## Job and job-step volume",
+		"## Queue waits",
+		"## Walltime estimation and backfill",
+		"## System load",
+		"## LLM interpretations",
+		"overestimating", // the inlined LLM finding
+		"fig4-wait-times.html",
+		"dashboard.html",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// The stats appendix of the insight files must not leak into the
+	// report prose.
+	if strings.Contains(report, "## Statistics") {
+		t.Error("statistics appendix leaked into the report")
+	}
+	// Extended figures appear with the rest.
+	if !strings.Contains(report, ExtLoad) {
+		t.Error("extended figure missing from the artifact list")
+	}
+}
+
+func TestWriteReportWithoutAI(t *testing.T) {
+	cfg := baseConfig(t)
+	art, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.md")
+	if err := WriteReport(art, "frontier", path); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if strings.Contains(string(data), "## LLM interpretations") {
+		t.Error("LLM section present without AI artifacts")
+	}
+	if !strings.Contains(string(data), "## Queue waits") {
+		t.Error("static sections missing")
+	}
+}

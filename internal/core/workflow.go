@@ -1,0 +1,604 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"slurmsight/internal/analyze"
+	"slurmsight/internal/curate"
+	"slurmsight/internal/dataflow"
+	"slurmsight/internal/llm"
+	"slurmsight/internal/plot"
+	"slurmsight/internal/raster"
+	"slurmsight/internal/sacct"
+	"slurmsight/internal/slurm"
+)
+
+// Config parameterizes one workflow run, mirroring the paper's
+// invocation: date_spec and dates select the query, cache and data name
+// the filesystem locations, and Workers is the swift-t -n N physical
+// concurrency.
+type Config struct {
+	SystemName string
+	Store      *sacct.Store
+
+	OutputDir string // permanent artifact location (the "data" argument)
+	CacheDir  string // fast scratch for fetched text (the "cache" argument)
+
+	Granularity sacct.Granularity
+	Start, End  time.Time
+	UseCache    bool
+
+	Workers int // dataflow concurrency (default 4)
+
+	TopUsers                int // users shown in the states figure (default 50)
+	ChartWidth, ChartHeight int
+
+	// AI subworkflow (the orange stages). When EnableAI is set, LLM must
+	// point at an analyze endpoint.
+	EnableAI bool
+	LLM      *llm.Client
+
+	// CorruptionRate optionally injects malformed rows at the obtain
+	// stage to exercise curation (see sacct.FetchSpec).
+	CorruptionRate float64
+	CorruptionSeed int64
+
+	// ExtendedFigures adds the operator views beyond the paper's set:
+	// a system-load timeline and a queue-depth timeline.
+	ExtendedFigures bool
+	// SystemNodes is the capacity used by the utilization summary and
+	// the timeline capacity line (0 leaves utilization unset).
+	SystemNodes int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Workers <= 0 {
+		out.Workers = 4
+	}
+	if out.TopUsers <= 0 {
+		out.TopUsers = 50
+	}
+	if out.ChartWidth <= 0 {
+		out.ChartWidth = 960
+	}
+	if out.ChartHeight <= 0 {
+		out.ChartHeight = 540
+	}
+	if out.CacheDir == "" {
+		out.CacheDir = filepath.Join(out.OutputDir, "cache")
+	}
+	return out
+}
+
+func (c *Config) validate() error {
+	if c.Store == nil {
+		return fmt.Errorf("core: config needs a store")
+	}
+	if c.SystemName == "" {
+		return fmt.Errorf("core: config needs a system name")
+	}
+	if c.OutputDir == "" {
+		return fmt.Errorf("core: config needs an output directory")
+	}
+	if c.Start.IsZero() || c.End.IsZero() || !c.Start.Before(c.End) {
+		return fmt.Errorf("core: config window is empty")
+	}
+	if c.EnableAI && c.LLM == nil {
+		return fmt.Errorf("core: AI subworkflow enabled without an LLM client")
+	}
+	return nil
+}
+
+// FigureResult locates one figure's artifacts.
+type FigureResult struct {
+	Key         string
+	HTMLPath    string
+	SpecPath    string
+	PNGPath     string
+	InsightPath string // empty when the AI stage is off
+}
+
+// Summaries carries the quantitative reading of each figure — the numbers
+// EXPERIMENTS.md compares against the paper.
+type Summaries struct {
+	Volume       []analyze.VolumeByYear
+	StepJobRatio float64
+	Scale        analyze.ScaleSummary
+	Waits        analyze.WaitSummary
+	Users        analyze.UserBehaviorSummary
+	Backfill     analyze.BackfillSummary
+	Reclaimable  float64 // node-hours a perfect walltime predictor reclaims
+	Load         analyze.UtilizationSummary
+	Classes      []analyze.ClassSummary
+}
+
+// Facts flattens the summaries into the grounding the conversational
+// agent answers from.
+func (a *Artifacts) Facts(system string) llm.Facts {
+	s := &a.Summaries
+	var jobs, steps int64
+	for _, v := range s.Volume {
+		jobs += v.Jobs
+		steps += v.Steps
+	}
+	return llm.Facts{
+		System:               system,
+		Jobs:                 jobs,
+		Steps:                steps,
+		StepJobRatio:         s.StepJobRatio,
+		MedianWaitS:          s.Waits.P50,
+		P90WaitS:             s.Waits.P90,
+		LongWaitFrac:         s.Waits.LongWaits,
+		OverestimateShare:    s.Backfill.OverestimateShare,
+		MedianUseRatio:       s.Backfill.MedianUseRatio,
+		BackfilledShare:      s.Backfill.BackfilledShare,
+		ReclaimableNodeHours: s.Reclaimable,
+		Users:                s.Users.Users,
+		MeanFailedShare:      s.Users.MeanFailedShare,
+		TopDecileFailures:    s.Users.TopDecileFailures,
+		MeanUtilization:      s.Load.MeanUtilization,
+		PeakQueueDepth:       s.Load.PeakQueueDepth,
+		MedianNodes:          s.Scale.MedianNodes,
+		SmallShortShare:      s.Scale.SmallShortShare,
+	}
+}
+
+// Artifacts is everything a run leaves behind.
+type Artifacts struct {
+	Fetched       []sacct.FetchedFile
+	Curation      curate.Report
+	CSVPaths      []string
+	Figures       map[string]*FigureResult
+	DOTPath       string
+	DashboardPath string
+	ComparePath   string // LLM month-over-month wait comparison
+	Records       int    // curated records (jobs + steps)
+	Jobs          int    // job-level records
+	Summaries     Summaries
+	Trace         *dataflow.Trace
+	FactsPath     string // grounded agent facts (JSON)
+	ReportPath    string // markdown analysis report
+}
+
+// runState is the shared in-memory side of the dataflow run.
+type runState struct {
+	mu      sync.Mutex
+	records []slurm.Record
+	report  curate.Report
+	charts  map[string]*plot.Chart
+	jobs    []slurm.Record
+
+	sumOnce   sync.Once
+	summaries Summaries
+}
+
+// summariesOnce computes the figure summaries exactly once; tasks and the
+// post-run assembly share the result.
+func (st *runState) summariesOnce(capacityNodes int) Summaries {
+	st.sumOnce.Do(func() {
+		st.summaries = summarize(st, capacityNodes)
+	})
+	return st.summaries
+}
+
+// Run executes the full hybrid workflow.
+func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	for _, dir := range []string{cfg.OutputDir, cfg.CacheDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	spec := sacct.FetchSpec{
+		Granularity:    cfg.Granularity,
+		Start:          cfg.Start,
+		End:            cfg.End,
+		UseCache:       cfg.UseCache,
+		CorruptionRate: cfg.CorruptionRate,
+		CorruptionSeed: cfg.CorruptionSeed,
+	}
+	periods, err := spec.Periods()
+	if err != nil {
+		return nil, err
+	}
+
+	st := &runState{charts: map[string]*plot.Chart{}}
+	art := &Artifacts{Figures: map[string]*FigureResult{}}
+	fetcher := &sacct.Fetcher{Store: cfg.Store, CacheDir: cfg.CacheDir, Workers: cfg.Workers}
+
+	g := dataflow.NewGraph()
+	add := func(t dataflow.Task) error { return g.Add(t) }
+
+	// --- Static data-analysis subworkflow (the blue stages) ---
+
+	periodPath := func(p string) string { return filepath.Join(cfg.CacheDir, sacct.PeriodFileName(p)) }
+	var periodPaths []string
+	for _, p := range periods {
+		periodPaths = append(periodPaths, periodPath(p))
+	}
+	if err := add(dataflow.Task{
+		Name:   "obtain-data",
+		Writes: periodPaths,
+		Run: func(ctx context.Context) error {
+			files, err := fetcher.Fetch(ctx, spec)
+			if err != nil {
+				return err
+			}
+			st.mu.Lock()
+			art.Fetched = files
+			st.mu.Unlock()
+			return nil
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	recordsReady := filepath.Join(cfg.OutputDir, "records.ready")
+	var csvPaths []string
+	for _, p := range periods {
+		p := p
+		csv := filepath.Join(cfg.OutputDir, "slurm-"+p+".csv")
+		csvPaths = append(csvPaths, csv)
+		if err := add(dataflow.Task{
+			Name:   "curate-" + p,
+			Reads:  []string{periodPath(p)},
+			Writes: []string{csv},
+			Run: func(ctx context.Context) error {
+				if _, err := curate.ToCSVFile(periodPath(p), csv, curate.DefaultOptions()); err != nil {
+					return err
+				}
+				recs, rep, err := curate.LoadRecordsFile(periodPath(p))
+				if err != nil {
+					return err
+				}
+				st.mu.Lock()
+				st.records = append(st.records, recs...)
+				st.report.Total += rep.Total
+				st.report.Kept += rep.Kept
+				st.report.Malformed += rep.Malformed
+				st.mu.Unlock()
+				return nil
+			},
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := add(dataflow.Task{
+		Name:   "combine",
+		Reads:  csvPaths,
+		Writes: []string{recordsReady},
+		Run: func(ctx context.Context) error {
+			st.mu.Lock()
+			sort.SliceStable(st.records, func(i, j int) bool {
+				return slurm.CompareJobID(st.records[i].ID, st.records[j].ID) < 0
+			})
+			for i := range st.records {
+				if !st.records[i].IsStep() {
+					st.jobs = append(st.jobs, st.records[i])
+				}
+			}
+			st.mu.Unlock()
+			return os.WriteFile(recordsReady, []byte("ok\n"), 0o644)
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	builders := map[string]func() *plot.Chart{
+		FigVolume:       func() *plot.Chart { return VolumeChart(cfg.SystemName, st.records) },
+		FigNodesElapsed: func() *plot.Chart { return NodesElapsedChart(cfg.SystemName, st.jobs) },
+		FigWaitTimes:    func() *plot.Chart { return WaitChart(cfg.SystemName, st.jobs) },
+		FigStates:       func() *plot.Chart { return StatesChart(cfg.SystemName, st.jobs, cfg.TopUsers) },
+		FigBackfill:     func() *plot.Chart { return BackfillChart(cfg.SystemName, st.jobs) },
+	}
+	figureKeys := FigureKeys()
+	if cfg.ExtendedFigures {
+		builders[ExtLoad] = func() *plot.Chart {
+			return LoadTimelineChart(cfg.SystemName, st.jobs, cfg.SystemNodes)
+		}
+		builders[ExtQueueDepth] = func() *plot.Chart {
+			return QueueDepthChart(cfg.SystemName, st.jobs)
+		}
+		figureKeys = append(figureKeys, ExtendedFigureKeys()...)
+	}
+	var htmlPaths []string
+	for _, key := range figureKeys {
+		key := key
+		fig := &FigureResult{
+			Key:      key,
+			HTMLPath: filepath.Join(cfg.OutputDir, key+".html"),
+			SpecPath: filepath.Join(cfg.OutputDir, key+".json"),
+		}
+		art.Figures[key] = fig
+		htmlPaths = append(htmlPaths, fig.HTMLPath)
+		if err := add(dataflow.Task{
+			Name:   "plot-" + key,
+			Reads:  []string{recordsReady},
+			Writes: []string{fig.HTMLPath, fig.SpecPath},
+			Run: func(ctx context.Context) error {
+				chart := builders[key]()
+				st.mu.Lock()
+				st.charts[key] = chart
+				st.mu.Unlock()
+				page, err := plot.HTML(chart, cfg.ChartWidth, cfg.ChartHeight)
+				if err != nil {
+					return fmt.Errorf("rendering %s: %w", key, err)
+				}
+				if err := os.WriteFile(fig.HTMLPath, page, 0o644); err != nil {
+					return err
+				}
+				spec, err := chart.JSON()
+				if err != nil {
+					return err
+				}
+				return os.WriteFile(fig.SpecPath, spec, 0o644)
+			},
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	dashPath := filepath.Join(cfg.OutputDir, "dashboard.html")
+	if err := add(dataflow.Task{
+		Name:   "dashboard",
+		Reads:  htmlPaths,
+		Writes: []string{dashPath},
+		Run: func(ctx context.Context) error {
+			return os.WriteFile(dashPath, dashboardIndex(cfg.SystemName, art), 0o644)
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	// --- User-defined AI subworkflow (the orange stages) ---
+
+	if cfg.EnableAI {
+		for _, key := range figureKeys {
+			key := key
+			if key == FigVolume {
+				continue // the volume bars carry little for the analyst
+			}
+			fig := art.Figures[key]
+			fig.PNGPath = filepath.Join(cfg.OutputDir, key+".png")
+			fig.InsightPath = filepath.Join(cfg.OutputDir, key+".insight.md")
+			if err := add(dataflow.Task{
+				Name:   "html2png-" + key,
+				Reads:  []string{fig.HTMLPath},
+				Writes: []string{fig.PNGPath},
+				Run: func(ctx context.Context) error {
+					return raster.FromHTMLFile(fig.HTMLPath, fig.PNGPath, cfg.ChartWidth, cfg.ChartHeight)
+				},
+			}); err != nil {
+				return nil, err
+			}
+			if err := add(dataflow.Task{
+				Name:   "llm-insight-" + key,
+				Reads:  []string{fig.PNGPath, fig.SpecPath},
+				Writes: []string{fig.InsightPath},
+				Run: func(ctx context.Context) error {
+					return runInsight(ctx, cfg, st, key, fig)
+				},
+			}); err != nil {
+				return nil, err
+			}
+		}
+		art.ComparePath = filepath.Join(cfg.OutputDir, "wait-times-compare.md")
+		if err := add(dataflow.Task{
+			Name:   "llm-compare-waits",
+			Reads:  []string{recordsReady},
+			Writes: []string{art.ComparePath},
+			Run: func(ctx context.Context) error {
+				return runCompare(ctx, cfg, st, art.ComparePath)
+			},
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Post-figure artifacts: the grounded fact sheet for the agent and
+	// the markdown report (which inlines insights when the AI stage ran).
+	art.FactsPath = filepath.Join(cfg.OutputDir, "facts.json")
+	if err := add(dataflow.Task{
+		Name:   "export-facts",
+		Reads:  []string{recordsReady},
+		Writes: []string{art.FactsPath},
+		Run: func(ctx context.Context) error {
+			st.summariesOnce(cfg.SystemNodes)
+			st.mu.Lock()
+			art.Summaries = st.summaries
+			facts := art.Facts(cfg.SystemName)
+			st.mu.Unlock()
+			data, err := json.MarshalIndent(facts, "", " ")
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(art.FactsPath, data, 0o644)
+		},
+	}); err != nil {
+		return nil, err
+	}
+	art.ReportPath = filepath.Join(cfg.OutputDir, "report.md")
+	reportReads := []string{recordsReady}
+	for _, key := range figureKeys {
+		if fig := art.Figures[key]; fig.InsightPath != "" {
+			reportReads = append(reportReads, fig.InsightPath)
+		}
+	}
+	if err := add(dataflow.Task{
+		Name:   "report",
+		Reads:  reportReads,
+		Writes: []string{art.ReportPath},
+		Run: func(ctx context.Context) error {
+			st.summariesOnce(cfg.SystemNodes)
+			st.mu.Lock()
+			art.Summaries = st.summaries
+			art.Records = len(st.records)
+			art.Jobs = len(st.jobs)
+			art.Curation = st.report
+			st.mu.Unlock()
+			return WriteReport(art, cfg.SystemName, art.ReportPath)
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	// The Figure 2 artifact: the engine's own view of this run.
+	art.DOTPath = filepath.Join(cfg.OutputDir, "workflow.dot")
+	if err := add(dataflow.Task{
+		Name:   "export-dataflow",
+		Writes: []string{art.DOTPath},
+		Run: func(ctx context.Context) error {
+			return os.WriteFile(art.DOTPath, []byte(g.DOT()), 0o644)
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	trace, err := (&dataflow.Executor{Workers: cfg.Workers}).Run(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+
+	art.Trace = trace
+	art.CSVPaths = csvPaths
+	art.DashboardPath = dashPath
+	art.Curation = st.report
+	art.Records = len(st.records)
+	art.Jobs = len(st.jobs)
+	art.Summaries = st.summariesOnce(cfg.SystemNodes)
+	return art, nil
+}
+
+func summarize(st *runState, capacityNodes int) Summaries {
+	vols := analyze.JobStepVolume(st.records)
+	return Summaries{
+		Volume:       vols,
+		StepJobRatio: analyze.StepJobRatio(vols),
+		Scale:        analyze.SummarizeScale(analyze.NodesVsElapsed(st.jobs)),
+		Waits:        analyze.SummarizeWaits(analyze.WaitTimes(st.jobs)),
+		Users:        analyze.SummarizeUsers(analyze.StatesPerUser(st.jobs, 0)),
+		Backfill:     analyze.SummarizeBackfill(analyze.RequestedVsActual(st.jobs)),
+		Reclaimable:  analyze.ReclaimableNodeHours(st.jobs),
+		Load: analyze.SummarizeTimeline(
+			analyze.Timeline(st.jobs, timelineBucket), capacityNodes),
+		Classes: analyze.PerClass(st.jobs),
+	}
+}
+
+// runInsight executes one LLM-Insight stage: PNG + spec → analyst prose.
+func runInsight(ctx context.Context, cfg Config, st *runState, key string, fig *FigureResult) error {
+	png, err := os.ReadFile(fig.PNGPath)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	chart := st.charts[key]
+	st.mu.Unlock()
+	img, err := llm.EncodeImage(key, png, chart)
+	if err != nil {
+		return err
+	}
+	resp, err := cfg.LLM.Analyze(ctx, llm.InsightPrompt, img)
+	if err != nil {
+		return fmt.Errorf("llm insight for %s: %w", key, err)
+	}
+	return os.WriteFile(fig.InsightPath, insightMarkdown(key, resp), 0o644)
+}
+
+// runCompare reproduces the paper's month-over-month wait comparison: the
+// window is split in half, a wait chart is built for each, and the pair
+// goes to the LLM with the compare prompt.
+func runCompare(ctx context.Context, cfg Config, st *runState, outPath string) error {
+	st.mu.Lock()
+	jobs := st.jobs
+	st.mu.Unlock()
+	if len(jobs) < 4 {
+		return fmt.Errorf("llm compare: too few jobs (%d)", len(jobs))
+	}
+	mid := jobs[len(jobs)/2].Submit
+	var early, late []slurm.Record
+	for _, j := range jobs {
+		if j.Submit.Before(mid) {
+			early = append(early, j)
+		} else {
+			late = append(late, j)
+		}
+	}
+	a := WaitChart(cfg.SystemName+" (first half)", early)
+	b := WaitChart(cfg.SystemName+" (second half)", late)
+	pngA, err := raster.PNG(a, cfg.ChartWidth, cfg.ChartHeight)
+	if err != nil {
+		return err
+	}
+	pngB, err := raster.PNG(b, cfg.ChartWidth, cfg.ChartHeight)
+	if err != nil {
+		return err
+	}
+	imgA, err := llm.EncodeImage("waits-first", pngA, a)
+	if err != nil {
+		return err
+	}
+	imgB, err := llm.EncodeImage("waits-second", pngB, b)
+	if err != nil {
+		return err
+	}
+	resp, err := cfg.LLM.Analyze(ctx, llm.ComparePrompt, imgA, imgB)
+	if err != nil {
+		return fmt.Errorf("llm compare: %w", err)
+	}
+	return os.WriteFile(outPath, insightMarkdown("wait-times-compare", resp), 0o644)
+}
+
+func insightMarkdown(key string, resp *llm.Response) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# LLM analysis: %s\n\nmodel: %s\n\n%s\n\n## Statistics\n\n", key, resp.Model, resp.Text)
+	keys := make([]string, 0, len(resp.Stats))
+	for k := range resp.Stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "- %s: %.4f\n", k, resp.Stats[k])
+	}
+	return []byte(b.String())
+}
+
+// dashboardIndex renders the consolidated dashboard page linking every
+// artifact (the Plotly-Dash substitute is served by internal/dashboard).
+func dashboardIndex(system string, art *Artifacts) []byte {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>SlurmSight dashboard</title><style>\n")
+	b.WriteString("body{font-family:sans-serif;margin:2em;} iframe{border:1px solid #ccc;width:100%;height:600px;}\n")
+	b.WriteString("h2{margin-top:2em;} .insight{background:#f7f7f7;padding:1em;border-left:4px solid #1f77b4;}\n")
+	b.WriteString("</style></head><body>\n")
+	fmt.Fprintf(&b, "<h1>Scheduling analytics: %s</h1>\n", system)
+	for _, key := range append(FigureKeys(), ExtendedFigureKeys()...) {
+		fig, ok := art.Figures[key]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "<h2>%s</h2>\n<iframe src=%q></iframe>\n", key, filepath.Base(fig.HTMLPath))
+		if fig.InsightPath != "" {
+			fmt.Fprintf(&b, "<p><a href=%q>LLM insight</a></p>\n", filepath.Base(fig.InsightPath))
+		}
+	}
+	if art.ComparePath != "" {
+		fmt.Fprintf(&b, "<p><a href=%q>LLM wait-time comparison</a></p>\n", filepath.Base(art.ComparePath))
+	}
+	b.WriteString("</body></html>\n")
+	return []byte(b.String())
+}

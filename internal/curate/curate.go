@@ -1,0 +1,236 @@
+// Package curate implements the workflow's "Curate Data" stage: it cleans
+// the raw pipe-separated text the Obtain-data stage retrieved (dropping
+// malformed rows, the paper's <0.002% hardware-error artifacts), applies
+// unit normalisation (expanding K-suffixed counts, converting raw seconds
+// to minutes for readability), and reformats the dataset to CSV for
+// downstream analysis — the exact responsibilities §3.1 assigns the stage.
+package curate
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"slurmsight/internal/slurm"
+)
+
+// Options tune the normalisation pass.
+type Options struct {
+	// DurationsAsMinutes renders duration columns as decimal minutes
+	// instead of HH:MM:SS (the paper's seconds→minutes readability
+	// conversion).
+	DurationsAsMinutes bool
+	// ExpandCounts rewrites abbreviated counts ("9.4K") as plain
+	// integers.
+	ExpandCounts bool
+}
+
+// DefaultOptions matches the paper's preprocessing.
+func DefaultOptions() Options {
+	return Options{DurationsAsMinutes: true, ExpandCounts: true}
+}
+
+// Report summarises one curation run.
+type Report struct {
+	Total     int // data rows seen
+	Kept      int // rows written/returned
+	Malformed int // rows dropped
+}
+
+// MalformedFraction returns the dropped share of all rows.
+func (r Report) MalformedFraction() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Malformed) / float64(r.Total)
+}
+
+// durationFields are the columns DurationsAsMinutes rewrites.
+var durationFields = map[string]bool{
+	"Elapsed": true, "Timelimit": true, "Suspended": true,
+	"AveCPU": true, "TotalCPU": true, "UserCPU": true, "SystemCPU": true,
+}
+
+// countFields are the columns ExpandCounts rewrites.
+var countFields = map[string]bool{
+	"NNodes": true, "NCPUS": true, "NTasks": true, "ReqNodes": true,
+	"ReqCPUS": true, "Restarts": true, "ConsumedEnergy": true,
+}
+
+// LoadRecords reads raw pipe-separated text (with its header line),
+// dropping malformed rows, and returns the clean records. This is the
+// in-memory half of the stage: the analytics layer consumes its output.
+func LoadRecords(r io.Reader) ([]slurm.Record, Report, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, Report{}, fmt.Errorf("curate: input has no header")
+	}
+	fields := strings.Split(strings.TrimSpace(sc.Text()), slurm.Separator)
+	for _, f := range fields {
+		if _, ok := slurm.FieldByName(f); !ok {
+			return nil, Report{}, fmt.Errorf("curate: unknown field %q in header", f)
+		}
+	}
+	var out []slurm.Record
+	var rep Report
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		rep.Total++
+		rec, err := slurm.DecodeRecord(line, fields)
+		if err != nil {
+			rep.Malformed++
+			continue
+		}
+		rep.Kept++
+		out = append(out, *rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, rep, err
+	}
+	return out, rep, nil
+}
+
+// LoadRecordsFile reads and curates one Obtain-data output file.
+func LoadRecordsFile(path string) ([]slurm.Record, Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	defer f.Close()
+	return LoadRecords(f)
+}
+
+// LoadRecordsFiles curates several files (one per fetched period) into a
+// single record set, accumulating the report.
+func LoadRecordsFiles(paths []string) ([]slurm.Record, Report, error) {
+	var all []slurm.Record
+	var rep Report
+	for _, p := range paths {
+		recs, r, err := LoadRecordsFile(p)
+		if err != nil {
+			return nil, rep, fmt.Errorf("curate: %s: %w", p, err)
+		}
+		all = append(all, recs...)
+		rep.Total += r.Total
+		rep.Kept += r.Kept
+		rep.Malformed += r.Malformed
+	}
+	return all, rep, nil
+}
+
+// ToCSV converts raw pipe-separated text to CSV, dropping malformed rows
+// and applying the normalisations — the on-disk half of the stage.
+func ToCSV(r io.Reader, w io.Writer, opts Options) (Report, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return Report{}, fmt.Errorf("curate: input has no header")
+	}
+	fields := strings.Split(strings.TrimSpace(sc.Text()), slurm.Separator)
+	for _, f := range fields {
+		if _, ok := slurm.FieldByName(f); !ok {
+			return Report{}, fmt.Errorf("curate: unknown field %q in header", f)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, len(fields))
+	for i, f := range fields {
+		name := f
+		if opts.DurationsAsMinutes && durationFields[f] {
+			name += "Minutes"
+		}
+		header[i] = name
+	}
+	if err := cw.Write(header); err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	row := make([]string, len(fields))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		rep.Total++
+		// Validate the full record first; malformed rows are dropped.
+		if _, err := slurm.DecodeRecord(line, fields); err != nil {
+			rep.Malformed++
+			continue
+		}
+		parts := strings.Split(line, slurm.Separator)
+		for i, f := range fields {
+			v, err := normalise(f, parts[i], opts)
+			if err != nil {
+				// Cannot happen for a row DecodeRecord accepted.
+				return rep, fmt.Errorf("curate: normalising %s: %w", f, err)
+			}
+			row[i] = v
+		}
+		if err := cw.Write(row); err != nil {
+			return rep, err
+		}
+		rep.Kept++
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	cw.Flush()
+	return rep, cw.Error()
+}
+
+// normalise applies the per-column unit conversions.
+func normalise(field, value string, opts Options) (string, error) {
+	switch {
+	case opts.DurationsAsMinutes && durationFields[field]:
+		d, err := slurm.ParseDuration(value)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatFloat(d.Minutes(), 'f', 2, 64), nil
+	case opts.ExpandCounts && countFields[field]:
+		n, err := slurm.ParseCount(value)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatInt(n, 10), nil
+	default:
+		return value, nil
+	}
+}
+
+// ToCSVFile curates inPath (pipe text) into outPath (CSV).
+func ToCSVFile(inPath, outPath string, opts Options) (Report, error) {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return Report{}, err
+	}
+	defer in.Close()
+	out, err := os.Create(outPath)
+	if err != nil {
+		return Report{}, err
+	}
+	rep, err := ToCSV(bufio.NewReader(in), out, opts)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	return rep, err
+}
+
+// MinutesOf is a helper for tests and analytics reading curated CSVs: it
+// parses a decimal-minutes cell back to a duration.
+func MinutesOf(cell string) (time.Duration, error) {
+	f, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return 0, fmt.Errorf("curate: bad minutes cell %q", cell)
+	}
+	return time.Duration(f * float64(time.Minute)), nil
+}

@@ -1,0 +1,164 @@
+package curate
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sample = `JobID|User|State|Elapsed|Timelimit|NNodes
+100001|alice|COMPLETED|01:30:00|02:00:00|128
+100002|bob|FAILED|00:10:00|01:00:00|9.4K
+100003|carol|CANCELLED|00:00:00|00:30:00|1
+`
+
+const sampleWithJunk = sample +
+	"100004|dave|COMPLE\n" + // truncated mid-record
+	"100005|eve|COMPLETED|xx:yy:zz|01:00:00|4\n" + // bad duration
+	"100006|frank|COMPLETED|00:05:00|00:30:00|2\n"
+
+func TestLoadRecordsClean(t *testing.T) {
+	recs, rep, err := LoadRecords(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 3 || rep.Kept != 3 || rep.Malformed != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].User != "alice" || recs[0].Elapsed != 90*time.Minute {
+		t.Errorf("first record wrong: %+v", recs[0])
+	}
+	if recs[1].NNodes != 9400 {
+		t.Errorf("K-count not parsed: %d", recs[1].NNodes)
+	}
+}
+
+func TestLoadRecordsDropsMalformed(t *testing.T) {
+	recs, rep, err := LoadRecords(strings.NewReader(sampleWithJunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 6 || rep.Kept != 4 || rep.Malformed != 2 {
+		// 100004 is truncated mid-record; 100005 has a bad duration.
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.Malformed != rep.Total-rep.Kept {
+		t.Errorf("inconsistent report: %+v", rep)
+	}
+	if len(recs) != rep.Kept {
+		t.Errorf("records %d != kept %d", len(recs), rep.Kept)
+	}
+	frac := rep.MalformedFraction()
+	if frac <= 0 || frac >= 1 {
+		t.Errorf("MalformedFraction = %v", frac)
+	}
+}
+
+func TestLoadRecordsErrors(t *testing.T) {
+	if _, _, err := LoadRecords(strings.NewReader("")); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, _, err := LoadRecords(strings.NewReader("JobID|Mystery\n")); err == nil {
+		t.Error("unknown header: want error")
+	}
+}
+
+func TestToCSVNormalisation(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := ToCSV(strings.NewReader(sampleWithJunk), &out, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kept != 4 || rep.Malformed != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != rep.Kept+1 {
+		t.Fatalf("csv rows = %d", len(rows))
+	}
+	header := rows[0]
+	if header[3] != "ElapsedMinutes" || header[4] != "TimelimitMinutes" {
+		t.Errorf("header not renamed: %v", header)
+	}
+	// alice: 01:30:00 → 90.00 minutes.
+	if rows[1][3] != "90.00" {
+		t.Errorf("Elapsed minutes = %q", rows[1][3])
+	}
+	// bob's 9.4K nodes → 9400.
+	if rows[2][5] != "9400" {
+		t.Errorf("expanded count = %q", rows[2][5])
+	}
+	d, err := MinutesOf(rows[1][3])
+	if err != nil || d != 90*time.Minute {
+		t.Errorf("MinutesOf = %v, %v", d, err)
+	}
+	if _, err := MinutesOf("abc"); err == nil {
+		t.Error("MinutesOf(abc): want error")
+	}
+}
+
+func TestToCSVWithoutNormalisation(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := ToCSV(strings.NewReader(sample), &out, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][3] != "Elapsed" {
+		t.Errorf("header renamed despite opts: %v", rows[0])
+	}
+	if rows[1][3] != "01:30:00" {
+		t.Errorf("duration converted despite opts: %q", rows[1][3])
+	}
+}
+
+func TestToCSVFileAndLoadFiles(t *testing.T) {
+	dir := t.TempDir()
+	in1 := filepath.Join(dir, "jan.txt")
+	in2 := filepath.Join(dir, "feb.txt")
+	if err := os.WriteFile(in1, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(in2, []byte(sampleWithJunk), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outCSV := filepath.Join(dir, "jan.csv")
+	rep, err := ToCSVFile(in1, outCSV, DefaultOptions())
+	if err != nil || rep.Kept != 3 {
+		t.Fatalf("ToCSVFile: %+v, %v", rep, err)
+	}
+	if _, err := os.Stat(outCSV); err != nil {
+		t.Fatal(err)
+	}
+	recs, rep2, err := LoadRecordsFiles([]string{in1, in2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Total != 9 || len(recs) != rep2.Kept {
+		t.Errorf("combined report = %+v with %d records", rep2, len(recs))
+	}
+	if _, _, err := LoadRecordsFiles([]string{filepath.Join(dir, "nope.txt")}); err == nil {
+		t.Error("missing file: want error")
+	}
+	if _, err := ToCSVFile(filepath.Join(dir, "nope.txt"), outCSV, Options{}); err == nil {
+		t.Error("missing input: want error")
+	}
+}
+
+func TestEmptyReportFraction(t *testing.T) {
+	if (Report{}).MalformedFraction() != 0 {
+		t.Error("empty report fraction should be 0")
+	}
+}

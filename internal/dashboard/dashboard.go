@@ -1,0 +1,177 @@
+// Package dashboard serves a workflow output directory as an interactive
+// dashboard — the Plotly Dash substitute. It exposes the consolidated
+// index the workflow generated, each figure's interactive HTML, the LLM
+// insight markdown (rendered minimally), and a JSON inventory for
+// programmatic consumers.
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Server serves one workflow output directory.
+type Server struct {
+	dir string
+}
+
+// New validates the directory and returns a server.
+func New(dir string) (*Server, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dashboard: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("dashboard: %s is not a directory", dir)
+	}
+	return &Server{dir: dir}, nil
+}
+
+// Inventory describes the artifacts present in the directory.
+type Inventory struct {
+	Figures  []string `json:"figures"`  // interactive chart pages
+	Specs    []string `json:"specs"`    // chart-spec JSON files
+	Insights []string `json:"insights"` // LLM analyses
+	PNGs     []string `json:"pngs"`
+	CSVs     []string `json:"csvs"`
+	Dataflow string   `json:"dataflow,omitempty"` // workflow.dot
+	Report   string   `json:"report,omitempty"`   // report.md
+	Facts    string   `json:"facts,omitempty"`    // facts.json
+}
+
+// scan builds the inventory from the directory contents.
+func (s *Server) scan() (*Inventory, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	inv := &Inventory{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch {
+		case name == "workflow.dot":
+			inv.Dataflow = name
+		case name == "report.md":
+			inv.Report = name
+		case name == "facts.json":
+			inv.Facts = name
+		case strings.HasSuffix(name, ".insight.md") || strings.HasSuffix(name, "-compare.md"):
+			inv.Insights = append(inv.Insights, name)
+		case strings.HasSuffix(name, ".html") && name != "dashboard.html":
+			inv.Figures = append(inv.Figures, name)
+		case strings.HasSuffix(name, ".json"):
+			inv.Specs = append(inv.Specs, name)
+		case strings.HasSuffix(name, ".png"):
+			inv.PNGs = append(inv.PNGs, name)
+		case strings.HasSuffix(name, ".csv"):
+			inv.CSVs = append(inv.CSVs, name)
+		}
+	}
+	for _, list := range [][]string{inv.Figures, inv.Specs, inv.Insights, inv.PNGs, inv.CSVs} {
+		sort.Strings(list)
+	}
+	return inv, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/api/inventory", s.handleInventory)
+	mux.Handle("/files/", http.StripPrefix("/files/", http.FileServer(http.Dir(s.dir))))
+	mux.HandleFunc("/insight/", s.handleInsight)
+	return mux
+}
+
+func (s *Server) handleInventory(w http.ResponseWriter, r *http.Request) {
+	inv, err := s.scan()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(inv)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	inv, err := s.scan()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><meta charset="utf-8"><title>SlurmSight</title><style>
+body{font-family:sans-serif;margin:2em;max-width:1100px;}
+iframe{border:1px solid #ccc;width:100%;height:600px;}
+nav a{margin-right:1em;}
+</style></head><body><h1>SlurmSight dashboard</h1><nav>`)
+	for _, f := range inv.Figures {
+		fmt.Fprintf(&b, `<a href="#%s">%s</a>`, html.EscapeString(f), html.EscapeString(strings.TrimSuffix(f, ".html")))
+	}
+	b.WriteString("</nav>")
+	for _, f := range inv.Figures {
+		fmt.Fprintf(&b, `<h2 id=%q>%s</h2><iframe src="/files/%s"></iframe>`,
+			html.EscapeString(f), html.EscapeString(strings.TrimSuffix(f, ".html")), html.EscapeString(f))
+	}
+	if inv.Report != "" {
+		fmt.Fprintf(&b, `<p><a href="/insight/%s">analysis report</a></p>`, html.EscapeString(inv.Report))
+	}
+	if len(inv.Insights) > 0 {
+		b.WriteString("<h2>LLM analyses</h2><ul>")
+		for _, f := range inv.Insights {
+			fmt.Fprintf(&b, `<li><a href="/insight/%s">%s</a></li>`,
+				html.EscapeString(f), html.EscapeString(f))
+		}
+		b.WriteString("</ul>")
+	}
+	b.WriteString("</body></html>")
+	fmt.Fprint(w, b.String())
+}
+
+// handleInsight renders an insight markdown file as minimal HTML.
+func (s *Server) handleInsight(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/insight/")
+	if name == "" || strings.Contains(name, "/") || strings.Contains(name, "..") {
+		http.NotFound(w, r)
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><meta charset="utf-8"><style>body{font-family:sans-serif;margin:2em;max-width:900px;}</style></head><body>`)
+	for _, line := range strings.Split(string(data), "\n") {
+		esc := html.EscapeString(line)
+		switch {
+		case strings.HasPrefix(line, "## "):
+			fmt.Fprintf(&b, "<h2>%s</h2>", strings.TrimPrefix(esc, "## "))
+		case strings.HasPrefix(line, "# "):
+			fmt.Fprintf(&b, "<h1>%s</h1>", strings.TrimPrefix(esc, "# "))
+		case strings.HasPrefix(line, "- "):
+			fmt.Fprintf(&b, "<li>%s</li>", strings.TrimPrefix(esc, "- "))
+		case strings.TrimSpace(line) == "":
+			b.WriteString("<p></p>")
+		default:
+			fmt.Fprintf(&b, "%s<br>", esc)
+		}
+	}
+	b.WriteString("</body></html>")
+	fmt.Fprint(w, b.String())
+}

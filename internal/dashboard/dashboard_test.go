@@ -1,0 +1,156 @@
+package dashboard
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"fig4-wait-times.html":       "<html>waits</html>",
+		"fig6-backfill.html":         "<html>backfill</html>",
+		"dashboard.html":             "<html>index</html>",
+		"fig4-wait-times.json":       `{"title":"w"}`,
+		"fig4-wait-times.png":        "not-a-real-png",
+		"fig4-wait-times.insight.md": "# LLM analysis\n\n- stat: 1\n\n## Statistics\n",
+		"wait-times-compare.md":      "# compare\n",
+		"slurm-2024-01.csv":          "JobID\n1\n",
+		"workflow.dot":               "digraph workflow {}\n",
+		"report.md":                  "# Scheduling analysis report\n",
+		"facts.json":                 `{"system":"frontier"}`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing dir: want error")
+	}
+	f := filepath.Join(t.TempDir(), "file")
+	os.WriteFile(f, []byte("x"), 0o644)
+	if _, err := New(f); err == nil {
+		t.Error("plain file: want error")
+	}
+	if _, err := New(t.TempDir()); err != nil {
+		t.Errorf("valid dir rejected: %v", err)
+	}
+}
+
+func TestInventory(t *testing.T) {
+	s, err := New(fixtureDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/api/inventory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var inv Inventory
+	if err := json.NewDecoder(resp.Body).Decode(&inv); err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.Figures) != 2 {
+		t.Errorf("figures = %v (dashboard.html must be excluded)", inv.Figures)
+	}
+	if len(inv.Insights) != 2 {
+		t.Errorf("insights = %v", inv.Insights)
+	}
+	if inv.Dataflow != "workflow.dot" {
+		t.Errorf("dataflow = %q", inv.Dataflow)
+	}
+	if len(inv.CSVs) != 1 || len(inv.PNGs) != 1 || len(inv.Specs) != 1 {
+		t.Errorf("inventory = %+v", inv)
+	}
+	if inv.Report != "report.md" || inv.Facts != "facts.json" {
+		t.Errorf("report/facts not indexed: %+v", inv)
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	s, _ := New(fixtureDir(t))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	page := string(body)
+	for _, want := range []string{"fig4-wait-times", "fig6-backfill", "/files/", "LLM analyses", "analysis report"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+	// Unknown paths 404 instead of serving the index.
+	resp, err = http.Get(ts.URL + "/nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nonsense = %d", resp.StatusCode)
+	}
+}
+
+func TestFileServing(t *testing.T) {
+	s, _ := New(fixtureDir(t))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/files/fig4-wait-times.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "<html>waits</html>" {
+		t.Errorf("served %q", body)
+	}
+}
+
+func TestInsightRendering(t *testing.T) {
+	s, _ := New(fixtureDir(t))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/insight/fig4-wait-times.insight.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	page := string(body)
+	if !strings.Contains(page, "<h1>LLM analysis</h1>") || !strings.Contains(page, "<li>stat: 1</li>") {
+		t.Errorf("markdown not rendered: %s", page)
+	}
+	// Path traversal is refused.
+	for _, path := range []string{"/insight/../dashboard.go", "/insight/a/b", "/insight/"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

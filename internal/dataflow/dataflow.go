@@ -1,0 +1,316 @@
+// Package dataflow is the workflow-composition engine standing in for
+// Swift/T. Tasks are written as an apparently linear list, each declaring
+// the files it reads and writes; the engine infers the dependency DAG from
+// those file references, executes independent tasks concurrently on N
+// workers (the paper's "parallel pipelines" model), and exports the graph
+// as DOT — which is how this reproduction regenerates Figure 2.
+package dataflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Task is one workflow stage with declared data dependencies.
+type Task struct {
+	Name   string
+	Reads  []string
+	Writes []string
+	Run    func(ctx context.Context) error
+}
+
+// Graph is a set of tasks with inferred dependencies.
+type Graph struct {
+	tasks   []*Task
+	writers map[string]int // file → producing task index
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{writers: map[string]int{}}
+}
+
+// Add appends a task. Every file may have at most one writer; a task must
+// have a name and a body.
+func (g *Graph) Add(t Task) error {
+	if t.Name == "" {
+		return errors.New("dataflow: task needs a name")
+	}
+	if t.Run == nil {
+		return fmt.Errorf("dataflow: task %q has no body", t.Name)
+	}
+	for _, p := range g.tasks {
+		if p.Name == t.Name {
+			return fmt.Errorf("dataflow: duplicate task name %q", t.Name)
+		}
+	}
+	for _, w := range t.Writes {
+		if prev, ok := g.writers[w]; ok {
+			return fmt.Errorf("dataflow: file %q written by both %q and %q",
+				w, g.tasks[prev].Name, t.Name)
+		}
+	}
+	idx := len(g.tasks)
+	tt := t
+	g.tasks = append(g.tasks, &tt)
+	for _, w := range t.Writes {
+		g.writers[w] = idx
+	}
+	return nil
+}
+
+// Len returns the task count.
+func (g *Graph) Len() int { return len(g.tasks) }
+
+// deps returns, for each task, the set of upstream task indices.
+func (g *Graph) deps() [][]int {
+	out := make([][]int, len(g.tasks))
+	for i, t := range g.tasks {
+		seen := map[int]bool{}
+		for _, r := range t.Reads {
+			if w, ok := g.writers[r]; ok && w != i && !seen[w] {
+				seen[w] = true
+				out[i] = append(out[i], w)
+			}
+		}
+		sort.Ints(out[i])
+	}
+	return out
+}
+
+// Validate checks for dependency cycles.
+func (g *Graph) Validate() error {
+	_, err := g.levels()
+	return err
+}
+
+// levels returns tasks grouped by topological depth — the "horizontal
+// rows" of Figure 2 whose members may execute concurrently.
+func (g *Graph) levels() ([][]int, error) {
+	deps := g.deps()
+	depth := make([]int, len(g.tasks))
+	state := make([]int, len(g.tasks)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case 1:
+			return fmt.Errorf("dataflow: dependency cycle through %q", g.tasks[i].Name)
+		case 2:
+			return nil
+		}
+		state[i] = 1
+		d := 0
+		for _, u := range deps[i] {
+			if err := visit(u); err != nil {
+				return err
+			}
+			if depth[u]+1 > d {
+				d = depth[u] + 1
+			}
+		}
+		depth[i] = d
+		state[i] = 2
+		return nil
+	}
+	maxDepth := 0
+	for i := range g.tasks {
+		if err := visit(i); err != nil {
+			return nil, err
+		}
+		if depth[i] > maxDepth {
+			maxDepth = depth[i]
+		}
+	}
+	levels := make([][]int, maxDepth+1)
+	for i, d := range depth {
+		levels[d] = append(levels[d], i)
+	}
+	return levels, nil
+}
+
+// Rows returns the task names by concurrency row.
+func (g *Graph) Rows() ([][]string, error) {
+	levels, err := g.levels()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, len(levels))
+	for d, idxs := range levels {
+		for _, i := range idxs {
+			out[d] = append(out[d], g.tasks[i].Name)
+		}
+	}
+	return out, nil
+}
+
+// DOT exports the inferred dataflow diagram in Graphviz format, tasks as
+// boxes ranked by row — the Figure 2 artifact.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph workflow {\n  rankdir=TB;\n  node [shape=box];\n")
+	for _, t := range g.tasks {
+		fmt.Fprintf(&b, "  %q;\n", t.Name)
+	}
+	deps := g.deps()
+	for i, ds := range deps {
+		for _, u := range ds {
+			fmt.Fprintf(&b, "  %q -> %q;\n", g.tasks[u].Name, g.tasks[i].Name)
+		}
+	}
+	if levels, err := g.levels(); err == nil {
+		for _, row := range levels {
+			if len(row) < 2 {
+				continue
+			}
+			names := make([]string, len(row))
+			for j, i := range row {
+				names[j] = fmt.Sprintf("%q", g.tasks[i].Name)
+			}
+			fmt.Fprintf(&b, "  { rank=same; %s }\n", strings.Join(names, "; "))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// TaskTrace records one task's execution.
+type TaskTrace struct {
+	Name    string
+	Start   time.Time
+	End     time.Time
+	Err     error
+	Workers int // concurrent tasks running when this one started
+}
+
+// Trace is the execution record of one run.
+type Trace struct {
+	Tasks          []TaskTrace
+	MaxConcurrency int
+}
+
+// Executor runs a graph with bounded physical concurrency — the N in the
+// paper's "swift-t -n N workflow.swift" invocation.
+type Executor struct {
+	Workers int
+}
+
+// Run executes every task respecting dependencies. The first task error
+// cancels the remaining work and is returned (wrapped); tasks already
+// running are allowed to finish.
+func (e *Executor) Run(ctx context.Context, g *Graph) (*Trace, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	deps := g.deps()
+	n := len(g.tasks)
+	dependents := make([][]int, n)
+	indeg := make([]int, n)
+	for i, ds := range deps {
+		indeg[i] = len(ds)
+		for _, u := range ds {
+			dependents[u] = append(dependents[u], i)
+		}
+	}
+
+	if n == 0 {
+		return &Trace{}, nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		trace     = &Trace{Tasks: make([]TaskTrace, 0, n)}
+		firstErr  error
+		running   int
+		completed int
+	)
+	ready := make(chan int, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready <- i
+		}
+	}
+
+	// A fixed worker pool drains ready until every task finished, one
+	// failed, or the caller cancelled.
+	var workerWG sync.WaitGroup
+	doneCh := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-doneCh:
+					return
+				case i := <-ready:
+					t := g.tasks[i]
+					mu.Lock()
+					running++
+					if running > trace.MaxConcurrency {
+						trace.MaxConcurrency = running
+					}
+					startedWith := running
+					mu.Unlock()
+
+					tt := TaskTrace{Name: t.Name, Start: time.Now(), Workers: startedWith}
+					err := t.Run(runCtx)
+					tt.End = time.Now()
+					tt.Err = err
+
+					mu.Lock()
+					running--
+					completed++
+					trace.Tasks = append(trace.Tasks, tt)
+					if err != nil && firstErr == nil {
+						firstErr = fmt.Errorf("dataflow: task %q: %w", t.Name, err)
+						cancel()
+					}
+					if err == nil {
+						for _, d := range dependents[i] {
+							indeg[d]--
+							if indeg[d] == 0 {
+								ready <- d
+							}
+						}
+					}
+					if completed == n || firstErr != nil {
+						select {
+						case <-doneCh:
+						default:
+							close(doneCh)
+						}
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	workerWG.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return trace, firstErr
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return trace, ctxErr
+	}
+	if completed != n {
+		return trace, fmt.Errorf("dataflow: %d of %d tasks never became runnable", n-completed, n)
+	}
+	return trace, nil
+}

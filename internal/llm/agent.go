@@ -1,0 +1,260 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Facts is the quantitative state of one analysed system — the grounding
+// the conversational agent answers from. The workflow layer fills it from
+// its figure summaries, so every number the agent cites traces back to
+// the trace.
+type Facts struct {
+	System string `json:"system"`
+
+	Jobs         int64   `json:"jobs"`
+	Steps        int64   `json:"steps"`
+	StepJobRatio float64 `json:"step_job_ratio"`
+
+	MedianWaitS  float64 `json:"median_wait_s"`
+	P90WaitS     float64 `json:"p90_wait_s"`
+	LongWaitFrac float64 `json:"long_wait_frac"`
+
+	OverestimateShare    float64 `json:"overestimate_share"`
+	MedianUseRatio       float64 `json:"median_use_ratio"`
+	BackfilledShare      float64 `json:"backfilled_share"`
+	ReclaimableNodeHours float64 `json:"reclaimable_node_hours"`
+
+	Users             int     `json:"users"`
+	MeanFailedShare   float64 `json:"mean_failed_share"`
+	TopDecileFailures float64 `json:"top_decile_failures"`
+
+	MeanUtilization float64 `json:"mean_utilization"`
+	PeakQueueDepth  float64 `json:"peak_queue_depth"`
+
+	MedianNodes     float64 `json:"median_nodes"`
+	SmallShortShare float64 `json:"small_short_share"`
+}
+
+// Topic identifies a conversation subject; the agent returns it so
+// clients can hand it back for follow-up questions.
+type Topic string
+
+// Conversation topics.
+const (
+	TopicWaits       Topic = "waits"
+	TopicWalltime    Topic = "walltime"
+	TopicUsers       Topic = "users"
+	TopicBackfill    Topic = "backfill"
+	TopicUtilization Topic = "utilization"
+	TopicSteps       Topic = "steps"
+	TopicRecommend   Topic = "recommendations"
+	TopicHelp        Topic = "help"
+)
+
+// Agent answers scheduling questions about one system from its Facts —
+// the paper's envisioned conversational layer over the dashboards. It is
+// deterministic: intent matching plus grounded templates.
+type Agent struct {
+	facts Facts
+}
+
+// NewAgent builds an agent over a fact set.
+func NewAgent(f Facts) *Agent { return &Agent{facts: f} }
+
+// Reply is one agent answer.
+type Reply struct {
+	Text  string `json:"text"`
+	Topic Topic  `json:"topic"`
+}
+
+// Ask answers a question. The optional previous topic carries follow-ups
+// like "why?" or "what should we do about it?" back to the last subject.
+func (a *Agent) Ask(question string, previous Topic) Reply {
+	q := strings.ToLower(question)
+	topic := a.classify(q, previous)
+	switch topic {
+	case TopicWaits:
+		return Reply{a.waits(), TopicWaits}
+	case TopicWalltime:
+		return Reply{a.walltime(), TopicWalltime}
+	case TopicUsers:
+		return Reply{a.users(), TopicUsers}
+	case TopicBackfill:
+		return Reply{a.backfill(), TopicBackfill}
+	case TopicUtilization:
+		return Reply{a.utilization(), TopicUtilization}
+	case TopicSteps:
+		return Reply{a.steps(), TopicSteps}
+	case TopicRecommend:
+		return Reply{a.recommend(previous), TopicRecommend}
+	default:
+		return Reply{a.help(), TopicHelp}
+	}
+}
+
+func hasAny(q string, words ...string) bool {
+	for _, w := range words {
+		if strings.Contains(q, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Agent) classify(q string, previous Topic) Topic {
+	switch {
+	case hasAny(q, "recommend", "policy", "improve", "should", "advis", "tune"):
+		return TopicRecommend
+	case hasAny(q, "wait", "queue", "latency", "turnaround"):
+		return TopicWaits
+	case hasAny(q, "walltime", "overestimat", "request", "reclaim", "estimate"):
+		return TopicWalltime
+	case hasAny(q, "fail", "error", "cancel", "user", "who"):
+		return TopicUsers
+	case hasAny(q, "backfill"):
+		return TopicBackfill
+	case hasAny(q, "utiliz", "load", "busy", "capacity", "idle"):
+		return TopicUtilization
+	case hasAny(q, "step", "srun", "task", "volume"):
+		return TopicSteps
+	case hasAny(q, "help", "what can"):
+		return TopicHelp
+	case previous != "" && hasAny(q, "why", "more", "detail", "explain", "that"):
+		return previous
+	default:
+		return TopicHelp
+	}
+}
+
+func (a *Agent) waits() string {
+	f := &a.facts
+	var b strings.Builder
+	fmt.Fprintf(&b, "On %s the median queue wait is %s and the 90th percentile is %s. ",
+		f.System, humanSeconds(f.MedianWaitS), humanSeconds(f.P90WaitS))
+	switch {
+	case f.LongWaitFrac > 0.01:
+		fmt.Fprintf(&b, "%.1f%% of jobs wait beyond 100,000 seconds — a congestion tail "+
+			"worth investigating against maintenance windows, policy thresholds, and the "+
+			"submission mix in that period.", 100*f.LongWaitFrac)
+	case f.P90WaitS > 3600:
+		b.WriteString("Most jobs start promptly, but the tail suggests contention at " +
+			"specific scales; check the nodes-versus-wait breakdown.")
+	default:
+		b.WriteString("Queues are healthy; waits are dominated by scheduling granularity " +
+			"rather than contention.")
+	}
+	return b.String()
+}
+
+func (a *Agent) walltime() string {
+	f := &a.facts
+	return fmt.Sprintf("Users on %s systematically over-estimate walltimes: %.0f%% of jobs "+
+		"use less than 75%% of their request, and the median job uses only %.0f%% of what "+
+		"it asked for. A perfect predictor would hand the scheduler back about %.0f "+
+		"node-hours. That unused tail is exactly what backfill exploits — and what "+
+		"runtime prediction or adaptive rescheduling could reclaim directly.",
+		f.System, 100*f.OverestimateShare, 100*f.MedianUseRatio, f.ReclaimableNodeHours)
+}
+
+func (a *Agent) users() string {
+	f := &a.facts
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d users submitted work on %s; on average %.1f%% of a user's jobs end "+
+		"unsuccessfully (failed, cancelled, or resource-killed). ",
+		f.Users, f.System, 100*f.MeanFailedShare)
+	if f.TopDecileFailures > 0.5 {
+		fmt.Fprintf(&b, "Failures are concentrated: the top decile of failing users owns "+
+			"%.0f%% of all failures — targeted training or submission-script review for "+
+			"that group would move the aggregate numbers most.", 100*f.TopDecileFailures)
+	} else {
+		b.WriteString("Failures are spread fairly evenly across the user base, which " +
+			"points at systemic causes rather than individual usage patterns.")
+	}
+	return b.String()
+}
+
+func (a *Agent) backfill() string {
+	f := &a.facts
+	return fmt.Sprintf("%.1f%% of started jobs on %s were placed by the backfill "+
+		"scheduler. Backfill thrives on the walltime over-estimation gap (median use "+
+		"ratio %.0f%%): short jobs slot into the shadow of the blocked queue head. "+
+		"If estimates tightened, backfill volume would drop but overall waits would "+
+		"improve — the two views of the same slack.",
+		100*f.BackfilledShare, f.System, 100*f.MedianUseRatio)
+}
+
+func (a *Agent) utilization() string {
+	f := &a.facts
+	return fmt.Sprintf("Mean utilization on %s over the analysed window is %.0f%%, with "+
+		"queue depth peaking at %.0f pending jobs. The workload skews %s (median "+
+		"allocation %.0f nodes; %.0f%% of jobs are small and short).",
+		f.System, 100*f.MeanUtilization, f.PeakQueueDepth,
+		map[bool]string{true: "towards throughput", false: "towards capability"}[f.SmallShortShare > 0.5],
+		f.MedianNodes, 100*f.SmallShortShare)
+}
+
+func (a *Agent) steps() string {
+	f := &a.facts
+	return fmt.Sprintf("%s ran %d jobs that launched %d job-steps — %.1f steps per job. "+
+		"Fine-grained srun task execution dominates, so scheduling policy changes that "+
+		"only consider whole jobs miss most of the execution units on the machine.",
+		f.System, f.Jobs, f.Steps, f.StepJobRatio)
+}
+
+// recommendation is one ranked policy suggestion.
+type recommendation struct {
+	score float64
+	text  string
+}
+
+func (a *Agent) recommend(previous Topic) string {
+	f := &a.facts
+	var recs []recommendation
+	if f.OverestimateShare > 0.5 {
+		recs = append(recs, recommendation{f.OverestimateShare,
+			fmt.Sprintf("Deploy walltime prediction at submission: %.0f%% of jobs use under "+
+				"75%% of their request, worth ~%.0f node-hours of reclaimable capacity.",
+				100*f.OverestimateShare, f.ReclaimableNodeHours)})
+	}
+	if f.LongWaitFrac > 0.005 {
+		recs = append(recs, recommendation{0.6 + f.LongWaitFrac,
+			fmt.Sprintf("Add a near-real-time QoS or advance reservations for urgent work: "+
+				"%.1f%% of jobs sit beyond 100,000 s in the queue.", 100*f.LongWaitFrac)})
+	}
+	if f.TopDecileFailures > 0.5 {
+		recs = append(recs, recommendation{f.TopDecileFailures - 0.1,
+			fmt.Sprintf("Target user support at the heaviest failers: the top decile owns "+
+				"%.0f%% of failures.", 100*f.TopDecileFailures)})
+	}
+	if f.MeanUtilization < 0.7 && f.PeakQueueDepth > 10 {
+		recs = append(recs, recommendation{0.55,
+			"Queues form while capacity idles: review partition shapes and backfill depth — " +
+				"fragmentation, not demand, is the bottleneck."})
+	}
+	if f.SmallShortShare > 0.6 {
+		recs = append(recs, recommendation{0.5,
+			fmt.Sprintf("%.0f%% of jobs are small and short: consider node sharing or a "+
+				"high-turnover partition so they stop competing with capability jobs.",
+				100*f.SmallShortShare)})
+	}
+	if len(recs) == 0 {
+		return fmt.Sprintf("Nothing stands out on %s: estimates, waits, and failures are "+
+			"all within healthy ranges for the analysed window.", f.System)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].score > recs[j].score })
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ranked policy recommendations for %s:\n", f.System)
+	for i, r := range recs {
+		fmt.Fprintf(&b, "%d. %s\n", i+1, r.text)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func (a *Agent) help() string {
+	return "I can discuss this system's queue waits, walltime estimates and reclamation, " +
+		"user failure patterns, backfill behaviour, utilization and load, job-step volume, " +
+		"and give ranked policy recommendations. Ask, for example: \"why are waits long?\", " +
+		"\"who fails most?\", or \"what should we tune?\""
+}

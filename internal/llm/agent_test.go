@@ -1,0 +1,150 @@
+package llm
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// frontierFacts is a grounded fact set shaped like the contended Frontier
+// runs.
+func frontierFacts() Facts {
+	return Facts{
+		System:               "frontier",
+		Jobs:                 44191,
+		Steps:                617396,
+		StepJobRatio:         14.0,
+		MedianWaitS:          12,
+		P90WaitS:             1054,
+		LongWaitFrac:         0.012,
+		OverestimateShare:    0.79,
+		MedianUseRatio:       0.41,
+		BackfilledShare:      0.47,
+		ReclaimableNodeHours: 3.8e6,
+		Users:                220,
+		MeanFailedShare:      0.25,
+		TopDecileFailures:    0.70,
+		MeanUtilization:      0.64,
+		PeakQueueDepth:       180,
+		MedianNodes:          4,
+		SmallShortShare:      0.54,
+	}
+}
+
+func TestAgentIntents(t *testing.T) {
+	a := NewAgent(frontierFacts())
+	cases := []struct {
+		question string
+		topic    Topic
+		want     string // substring the grounded answer must contain
+	}{
+		{"Why are queue waits so long?", TopicWaits, "100,000 seconds"},
+		{"Do users overestimate walltime requests?", TopicWalltime, "over-estimate walltimes"},
+		{"Which users fail the most?", TopicUsers, "top decile"},
+		{"How much work is backfilled?", TopicBackfill, "47.0%"},
+		{"What is the system load like?", TopicUtilization, "64%"},
+		{"How heavy is srun step usage?", TopicSteps, "14.0 steps per job"},
+		{"What should we tune first?", TopicRecommend, "Ranked policy recommendations"},
+		{"help", TopicHelp, "queue waits"},
+		{"completely unrelated gibberish", TopicHelp, "queue waits"},
+	}
+	for _, c := range cases {
+		got := a.Ask(c.question, "")
+		if got.Topic != c.topic {
+			t.Errorf("Ask(%q) topic = %s, want %s", c.question, got.Topic, c.topic)
+		}
+		if !strings.Contains(got.Text, c.want) {
+			t.Errorf("Ask(%q) missing %q:\n%s", c.question, c.want, got.Text)
+		}
+	}
+}
+
+func TestAgentFollowUp(t *testing.T) {
+	a := NewAgent(frontierFacts())
+	first := a.Ask("tell me about queue waits", "")
+	if first.Topic != TopicWaits {
+		t.Fatalf("topic = %s", first.Topic)
+	}
+	followUp := a.Ask("why is that?", first.Topic)
+	if followUp.Topic != TopicWaits {
+		t.Errorf("follow-up drifted to %s", followUp.Topic)
+	}
+	// Without context, the same follow-up gets the help text.
+	cold := a.Ask("why is that?", "")
+	if cold.Topic != TopicHelp {
+		t.Errorf("cold follow-up = %s, want help", cold.Topic)
+	}
+}
+
+func TestAgentRecommendationsRanked(t *testing.T) {
+	a := NewAgent(frontierFacts())
+	r := a.Ask("recommend policy changes", "")
+	// The walltime gap (0.79) outranks everything; prediction comes
+	// first.
+	lines := strings.Split(r.Text, "\n")
+	if len(lines) < 3 {
+		t.Fatalf("too few recommendations:\n%s", r.Text)
+	}
+	if !strings.Contains(lines[1], "walltime prediction") {
+		t.Errorf("top recommendation should be walltime prediction:\n%s", r.Text)
+	}
+	// Healthy system: no findings.
+	healthy := NewAgent(Facts{System: "tiny", MeanUtilization: 0.9})
+	hr := healthy.Ask("what should we improve?", "")
+	if !strings.Contains(hr.Text, "Nothing stands out") {
+		t.Errorf("healthy system produced findings:\n%s", hr.Text)
+	}
+}
+
+func TestAgentGroundedNumbers(t *testing.T) {
+	f := frontierFacts()
+	a := NewAgent(f)
+	r := a.Ask("how bad is walltime overestimation?", "")
+	for _, want := range []string{"79%", "41%"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("walltime answer missing %s:\n%s", want, r.Text)
+		}
+	}
+	u := a.Ask("who is failing?", "")
+	if !strings.Contains(u.Text, "220 users") {
+		t.Errorf("user answer not grounded:\n%s", u.Text)
+	}
+}
+
+func TestChatEndpoint(t *testing.T) {
+	ts := httptest.NewServer(NewServer("sk-test").Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL, "sk-test")
+	resp, err := client.Chat(context.Background(), frontierFacts(), "why are waits long?", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Reply.Topic != TopicWaits {
+		t.Errorf("topic = %s", resp.Reply.Topic)
+	}
+	if resp.Model != "gemma-3-sim" {
+		t.Errorf("model = %s", resp.Model)
+	}
+	// Follow-up via echoed topic.
+	resp2, err := client.Chat(context.Background(), frontierFacts(), "tell me more", resp.Reply.Topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Reply.Topic != TopicWaits {
+		t.Errorf("follow-up topic = %s", resp2.Reply.Topic)
+	}
+}
+
+func TestChatEndpointErrors(t *testing.T) {
+	ts := httptest.NewServer(NewServer("sk-test").Handler())
+	defer ts.Close()
+	bad := NewClient(ts.URL, "wrong")
+	if _, err := bad.Chat(context.Background(), Facts{}, "hi", ""); err == nil {
+		t.Error("bad key: want error")
+	}
+	client := NewClient(ts.URL, "sk-test")
+	if _, err := client.Chat(context.Background(), Facts{}, "", ""); err == nil {
+		t.Error("empty message: want error")
+	}
+}

@@ -1,0 +1,509 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"slurmsight/internal/plot"
+	"slurmsight/internal/stats"
+)
+
+// InsightPrompt is the paper's fixed single-chart prompt (§3.2).
+const InsightPrompt = "Act as a data scientist to summarize the chart and " +
+	"provide a quantitative analysis of the key trends, relationships, and " +
+	"statistics of the provided chart. Be specific and mention any notable " +
+	"patterns or outliers. Calculate meaningful statistics from the plot."
+
+// ComparePrompt is the paper's fixed two-chart prompt (§3.2).
+const ComparePrompt = "Act as a data scientist to compare and contrast the " +
+	"two provided charts. Provide a quantitative and qualitative analysis " +
+	"of the key trends, relationships, and statistics, highlighting " +
+	"similarities and differences. Be specific and mention any notable " +
+	"patterns or outliers. Calculate meaningful statistics from the plots."
+
+// Analysis is the analyst's product: prose plus the machine-checkable
+// numbers every quantitative claim in the prose is drawn from.
+type Analysis struct {
+	Text  string             `json:"text"`
+	Stats map[string]float64 `json:"stats"`
+}
+
+// chartClass is the analyst's reading of what a chart depicts.
+type chartClass int
+
+const (
+	classGeneric chartClass = iota
+	classWait
+	classWalltime
+	classStates
+	classVolume
+	classTimeline
+)
+
+func classify(c *plot.Chart) chartClass {
+	text := strings.ToLower(c.Title + " " + c.XLabel + " " + c.YLabel)
+	switch {
+	case c.Kind == plot.Line && c.XTime &&
+		(strings.Contains(text, "load") || strings.Contains(text, "queue depth") ||
+			strings.Contains(text, "utiliz")):
+		return classTimeline
+	case strings.Contains(text, "wait"):
+		return classWait
+	case strings.Contains(text, "requested") || strings.Contains(text, "walltime"):
+		return classWalltime
+	case c.Kind == plot.StackedBar || c.Kind == plot.GroupedBar:
+		if strings.Contains(text, "state") || strings.Contains(text, "user") ||
+			strings.Contains(text, "jobs") {
+			if strings.Contains(text, "step") {
+				return classVolume
+			}
+			return classStates
+		}
+		return classGeneric
+	default:
+		return classGeneric
+	}
+}
+
+// AnalyzeChart produces the LLM-Insight analysis of one chart.
+func AnalyzeChart(c *plot.Chart) (Analysis, error) {
+	if err := c.Validate(); err != nil {
+		return Analysis{}, err
+	}
+	switch classify(c) {
+	case classWait:
+		return analyzeWait(c), nil
+	case classWalltime:
+		return analyzeWalltime(c), nil
+	case classStates:
+		return analyzeStates(c), nil
+	case classVolume:
+		return analyzeVolume(c), nil
+	case classTimeline:
+		return analyzeTimeline(c), nil
+	default:
+		return analyzeGeneric(c), nil
+	}
+}
+
+// analyzeTimeline narrates a load or queue-depth series: level, peak, and
+// where in the window the peak sits.
+func analyzeTimeline(c *plot.Chart) Analysis {
+	st := map[string]float64{}
+	var main *plot.Series
+	var capacity float64
+	for i := range c.Series {
+		s := &c.Series[i]
+		if strings.EqualFold(s.Name, "capacity") {
+			if len(s.Y) > 0 {
+				capacity = s.Y[0]
+			}
+			continue
+		}
+		if main == nil || len(s.Y) > len(main.Y) {
+			main = s
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "The chart \"%s\" tracks %s over time. ", c.Title, c.YLabel)
+	if main == nil || len(main.Y) == 0 {
+		b.WriteString("No data series is present.")
+		return Analysis{Text: b.String(), Stats: st}
+	}
+	sum, _ := stats.Summarize(main.Y)
+	st["mean"] = sum.Mean
+	st["peak"] = sum.Max
+	peakAt := 0
+	for i, y := range main.Y {
+		if y == sum.Max {
+			peakAt = i
+			break
+		}
+	}
+	st["peak_position_frac"] = float64(peakAt) / float64(len(main.Y))
+	fmt.Fprintf(&b, "It averages %s and peaks at %s, %s through the window. ",
+		humanValue(sum.Mean), humanValue(sum.Max),
+		windowThird(st["peak_position_frac"]))
+	if capacity > 0 {
+		st["capacity"] = capacity
+		st["mean_utilization"] = sum.Mean / capacity
+		fmt.Fprintf(&b, "Against a capacity of %s that is %.0f%% mean utilization",
+			humanValue(capacity), 100*st["mean_utilization"])
+		if sum.Max > capacity*0.95 {
+			b.WriteString(", with the system effectively saturated at the peak.")
+		} else {
+			b.WriteString(", leaving headroom even at the peak.")
+		}
+	}
+	return Analysis{Text: b.String(), Stats: st}
+}
+
+func windowThird(frac float64) string {
+	switch {
+	case frac < 1.0/3:
+		return "early"
+	case frac < 2.0/3:
+		return "midway"
+	default:
+		return "late"
+	}
+}
+
+// allXY flattens every series.
+func allXY(c *plot.Chart) (xs, ys []float64) {
+	for i := range c.Series {
+		xs = append(xs, c.Series[i].X...)
+		ys = append(ys, c.Series[i].Y...)
+	}
+	return
+}
+
+func med(xs []float64) float64 {
+	m, err := stats.Quantile(xs, 0.5)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+func analyzeWait(c *plot.Chart) Analysis {
+	_, ys := allXY(c)
+	st := map[string]float64{"points": float64(len(ys))}
+	var b strings.Builder
+	fmt.Fprintf(&b, "The chart \"%s\" shows %d jobs' queue wait times. ", c.Title, len(ys))
+	if len(ys) > 0 {
+		qs, _ := stats.Quantiles(ys, 0.5, 0.9, 0.99)
+		st["median_wait_s"], st["p90_wait_s"], st["p99_wait_s"] = qs[0], qs[1], qs[2]
+		long := 0
+		for _, y := range ys {
+			if y > 100_000 {
+				long++
+			}
+		}
+		st["long_wait_frac"] = float64(long) / float64(len(ys))
+		fmt.Fprintf(&b, "The median wait is %s with a 90th percentile of %s, "+
+			"so the distribution is heavily right-skewed. ",
+			humanSeconds(qs[0]), humanSeconds(qs[1]))
+		if long > 0 {
+			fmt.Fprintf(&b, "%.1f%% of jobs waited beyond 100,000 seconds, a long-wait tail "+
+				"that could indicate batch congestion or policy thresholds being hit. ",
+				100*st["long_wait_frac"])
+		}
+	}
+	// Per-state stratification.
+	type row struct {
+		name string
+		n    int
+		med  float64
+	}
+	var rows []row
+	for i := range c.Series {
+		s := &c.Series[i]
+		rows = append(rows, row{s.Name, len(s.Y), med(s.Y)})
+		st["n_"+s.Name] = float64(len(s.Y))
+		st["median_wait_"+s.Name] = med(s.Y)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	if len(rows) > 1 {
+		fmt.Fprintf(&b, "Broken down by final state, %s jobs dominate (%d), "+
+			"with median wait %s; %s jobs (%d) show a median of %s, a distinct "+
+			"stratification that warrants tuning of scheduling parameters.",
+			rows[0].name, rows[0].n, humanSeconds(rows[0].med),
+			rows[1].name, rows[1].n, humanSeconds(rows[1].med))
+	}
+	return Analysis{Text: b.String(), Stats: st}
+}
+
+func analyzeWalltime(c *plot.Chart) Analysis {
+	xs, ys := allXY(c)
+	st := map[string]float64{"points": float64(len(ys))}
+	below := 0
+	var ratios []float64
+	for i := range xs {
+		if xs[i] <= 0 {
+			continue
+		}
+		if ys[i] < xs[i] {
+			below++
+		}
+		ratios = append(ratios, ys[i]/xs[i])
+	}
+	if len(xs) > 0 {
+		st["below_diagonal_frac"] = float64(below) / float64(len(xs))
+	}
+	st["median_use_ratio"] = med(ratios)
+	var b strings.Builder
+	fmt.Fprintf(&b, "The chart \"%s\" compares requested walltimes with actual job durations "+
+		"across %d jobs. ", c.Title, len(xs))
+	fmt.Fprintf(&b, "%.1f%% of jobs finish below their request, and the median job uses only "+
+		"%.0f%% of the time it asked for. ",
+		100*st["below_diagonal_frac"], 100*st["median_use_ratio"])
+	if st["median_use_ratio"] < 0.75 {
+		b.WriteString("There is a consistent trend of users significantly overestimating " +
+			"their walltime requests, creating a systemic gap that reduces scheduling " +
+			"efficiency; tightly clustered short-actual, long-requested jobs suggest " +
+			"potential for automated time prediction or adaptive rescheduling mechanisms. ")
+	}
+	// Backfill split, when the series distinguish it.
+	for i := range c.Series {
+		s := &c.Series[i]
+		key := strings.ToLower(s.Name)
+		if strings.HasPrefix(key, "backfill") {
+			st["n_backfilled"] = float64(len(s.Y))
+			st["median_actual_backfilled"] = med(s.Y)
+		} else {
+			st["n_regular"] = float64(len(s.Y))
+			st["median_actual_regular"] = med(s.Y)
+		}
+	}
+	if st["n_backfilled"] > 0 && st["median_actual_backfilled"] < st["median_actual_regular"] {
+		fmt.Fprintf(&b, "Backfilled jobs (%d of them) skew short — median %s versus %s for "+
+			"regular starts — confirming the scheduler exploits over-estimates to fill gaps.",
+			int(st["n_backfilled"]), humanSeconds(st["median_actual_backfilled"]),
+			humanSeconds(st["median_actual_regular"]))
+	}
+	return Analysis{Text: b.String(), Stats: st}
+}
+
+func analyzeStates(c *plot.Chart) Analysis {
+	st := map[string]float64{"categories": float64(len(c.Categories))}
+	totals := make([]float64, len(c.Categories))
+	var grand, bad float64
+	for i := range c.Series {
+		name := strings.ToUpper(c.Series[i].Name)
+		isBad := strings.Contains(name, "FAIL") || strings.Contains(name, "CANCEL") ||
+			strings.Contains(name, "OUT_OF_MEMORY") || strings.Contains(name, "NODE")
+		for j, v := range c.Series[i].Y {
+			totals[j] += v
+			grand += v
+			if isBad {
+				bad += v
+			}
+		}
+	}
+	st["total_jobs"] = grand
+	if grand > 0 {
+		st["failed_share"] = bad / grand
+	}
+	// Concentration: share of volume held by the busiest decile.
+	sorted := append([]float64(nil), totals...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	top := (len(sorted) + 9) / 10
+	var topSum float64
+	for _, v := range sorted[:top] {
+		topSum += v
+	}
+	if grand > 0 {
+		st["top_decile_share"] = topSum / grand
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "The chart \"%s\" breaks down %.0f jobs across %d users by final state. ",
+		c.Title, grand, len(c.Categories))
+	fmt.Fprintf(&b, "Unsuccessful outcomes (failed, cancelled, or resource-killed) account for "+
+		"%.1f%% of jobs. ", 100*st["failed_share"])
+	fmt.Fprintf(&b, "Activity is heavy-tailed: the top decile of users submits %.0f%% of all jobs. ",
+		100*st["top_decile_share"])
+	if st["failed_share"] > 0.15 {
+		b.WriteString("Several users show disproportionately high failure or cancellation " +
+			"rates; these outliers are natural targets for training, user support, or " +
+			"configuration changes.")
+	} else {
+		b.WriteString("Failure rates are comparatively low and uniform across users, " +
+			"suggesting interactive or exploratory work with fast feedback cycles.")
+	}
+	return Analysis{Text: b.String(), Stats: st}
+}
+
+func analyzeVolume(c *plot.Chart) Analysis {
+	st := map[string]float64{"categories": float64(len(c.Categories))}
+	var jobs, steps []float64
+	for i := range c.Series {
+		name := strings.ToLower(c.Series[i].Name)
+		if strings.Contains(name, "step") {
+			steps = c.Series[i].Y
+		} else if strings.Contains(name, "job") {
+			jobs = c.Series[i].Y
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "The chart \"%s\" shows job and job-step volume per year. ", c.Title)
+	var tj, ts float64
+	for _, v := range jobs {
+		tj += v
+	}
+	for _, v := range steps {
+		ts += v
+	}
+	st["total_jobs"], st["total_steps"] = tj, ts
+	if tj > 0 {
+		st["step_job_ratio"] = ts / tj
+		fmt.Fprintf(&b, "Across the period there are %.0f jobs and %.0f job-steps — "+
+			"%.1f steps per job — reflecting extensive use of srun task parallelism: "+
+			"many scientific workflows execute at the job-step level rather than as "+
+			"monolithic jobs. ", tj, ts, st["step_job_ratio"])
+	}
+	if len(jobs) > 1 {
+		if jobs[len(jobs)-1] > jobs[0] {
+			b.WriteString("Job submissions grow over the years as the system moves from " +
+				"acceptance testing into production.")
+		} else {
+			b.WriteString("Job submissions remain relatively stable year over year.")
+		}
+	}
+	return Analysis{Text: b.String(), Stats: st}
+}
+
+func analyzeGeneric(c *plot.Chart) Analysis {
+	xs, ys := allXY(c)
+	st := map[string]float64{
+		"points": float64(len(ys)),
+		"series": float64(len(c.Series)),
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "The chart \"%s\" plots %s against %s with %d points across %d series. ",
+		c.Title, c.YLabel, c.XLabel, len(ys), len(c.Series))
+	if len(xs) == len(ys) && len(xs) > 2 {
+		if rho, err := stats.Spearman(xs, ys); err == nil {
+			st["spearman_xy"] = rho
+			switch {
+			case rho > 0.4:
+				fmt.Fprintf(&b, "The variables rise together (rank correlation %.2f): "+
+					"larger allocations tend to run longer. ", rho)
+			case rho < -0.4:
+				fmt.Fprintf(&b, "The variables are inversely related (rank correlation %.2f). ", rho)
+			default:
+				fmt.Fprintf(&b, "The variables are only weakly related (rank correlation %.2f), "+
+					"with the system accommodating both small short-lived jobs and massively "+
+					"parallel long-duration work. ", rho)
+			}
+		}
+	}
+	if len(ys) > 0 {
+		st["median_y"] = med(ys)
+		qs, _ := stats.Quantiles(ys, 0.99)
+		outliers := 0
+		for _, y := range ys {
+			if y > qs[0] {
+				outliers++
+			}
+		}
+		st["outliers_p99"] = float64(outliers)
+		fmt.Fprintf(&b, "The median %s is %s, with %d points beyond the 99th percentile.",
+			c.YLabel, humanValue(st["median_y"]), outliers)
+	}
+	return Analysis{Text: b.String(), Stats: st}
+}
+
+// CompareCharts produces the LLM-Compare analysis of two charts.
+func CompareCharts(a, b *plot.Chart) (Analysis, error) {
+	ia, err := AnalyzeChart(a)
+	if err != nil {
+		return Analysis{}, err
+	}
+	ib, err := AnalyzeChart(b)
+	if err != nil {
+		return Analysis{}, err
+	}
+	st := map[string]float64{}
+	for k, v := range ia.Stats {
+		st["a_"+k] = v
+	}
+	for k, v := range ib.Stats {
+		st["b_"+k] = v
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "Comparing \"%s\" with \"%s\": ", a.Title, b.Title)
+
+	compared := false
+	for _, key := range []string{"median_wait_s", "median_use_ratio", "failed_share",
+		"median_y", "step_job_ratio"} {
+		va, oka := ia.Stats[key]
+		vb, okb := ib.Stats[key]
+		if !oka || !okb || va == 0 {
+			continue
+		}
+		compared = true
+		delta := (vb - va) / va
+		st["delta_"+key] = delta
+		if absF(delta) < 0.01 {
+			fmt.Fprintf(&out, "the %s is essentially unchanged (%s). ",
+				humanKey(key), humanValue(va))
+			continue
+		}
+		direction := "higher"
+		if delta < 0 {
+			direction = "lower"
+		}
+		fmt.Fprintf(&out, "the %s is %.0f%% %s in the second chart (%s vs %s). ",
+			humanKey(key), 100*absF(delta), direction, humanValue(va), humanValue(vb))
+	}
+	if lw1, lw2 := ia.Stats["long_wait_frac"], ib.Stats["long_wait_frac"]; lw1 != lw2 {
+		if lw1 > lw2 {
+			out.WriteString("The first chart has a higher density of jobs with extended " +
+				"wait times exceeding 100,000 seconds, which could indicate batch congestion " +
+				"or policy thresholds being hit more frequently; the majority of jobs " +
+				"completed with shorter waits in the second period, suggesting either a " +
+				"decrease in queue load or more efficient scheduling policies. ")
+		} else {
+			out.WriteString("The second chart shows a heavier long-wait tail beyond " +
+				"100,000 seconds, pointing at growing congestion in the later period. ")
+		}
+	}
+	if !compared {
+		out.WriteString("The charts depict different quantities; no shared metric was " +
+			"directly comparable, so the analysis is qualitative. ")
+	}
+	out.WriteString("\n\nFirst chart: " + ia.Text + "\n\nSecond chart: " + ib.Text)
+	return Analysis{Text: out.String(), Stats: st}, nil
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func humanKey(k string) string {
+	switch k {
+	case "median_wait_s":
+		return "median queue wait"
+	case "median_use_ratio":
+		return "median walltime-use ratio"
+	case "failed_share":
+		return "unsuccessful-job share"
+	case "median_y":
+		return "median value"
+	case "step_job_ratio":
+		return "steps-per-job ratio"
+	}
+	return k
+}
+
+// humanSeconds renders a duration in readable units.
+func humanSeconds(s float64) string {
+	switch {
+	case s >= 86400:
+		return fmt.Sprintf("%.1f days", s/86400)
+	case s >= 3600:
+		return fmt.Sprintf("%.1f hours", s/3600)
+	case s >= 60:
+		return fmt.Sprintf("%.1f minutes", s/60)
+	default:
+		return fmt.Sprintf("%.0f s", s)
+	}
+}
+
+func humanValue(v float64) string {
+	switch {
+	case absF(v) >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case absF(v) >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case absF(v) < 10:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,192 @@
+package llm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client talks to an analyze endpoint (the built-in mock server or any
+// API-compatible deployment) with bearer auth, timeouts, and retry with
+// exponential backoff on 429/5xx — the robustness a production pipeline
+// needs around a flaky external model API.
+type Client struct {
+	BaseURL string
+	APIKey  string
+	// HTTPClient defaults to a client with a 30 s timeout.
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after the first try (default 3).
+	MaxRetries int
+	// Backoff is the initial retry delay, doubled per attempt (default
+	// 250 ms).
+	Backoff time.Duration
+	// Sleep is the delay function (overridable in tests).
+	Sleep func(time.Duration)
+}
+
+// NewClient builds a client with production defaults.
+func NewClient(baseURL, apiKey string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		APIKey:     apiKey,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+		MaxRetries: 3,
+		Backoff:    250 * time.Millisecond,
+		Sleep:      time.Sleep,
+	}
+}
+
+// Analyze posts one or two images with a prompt and returns the model's
+// analysis.
+func (c *Client) Analyze(ctx context.Context, prompt string, images ...Image) (*Response, error) {
+	if len(images) == 0 || len(images) > 2 {
+		return nil, fmt.Errorf("llm: Analyze takes 1 or 2 images, got %d", len(images))
+	}
+	body, err := json.Marshal(Request{Prompt: prompt, Images: images})
+	if err != nil {
+		return nil, err
+	}
+	retries := c.MaxRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	sleep := c.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+			sleep(backoff)
+			backoff *= 2
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.BaseURL+"/v1/analyze", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if c.APIKey != "" {
+			req.Header.Set("Authorization", "Bearer "+c.APIKey)
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var out Response
+			if err := json.Unmarshal(data, &out); err != nil {
+				return nil, fmt.Errorf("llm: malformed response: %w", err)
+			}
+			return &out, nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("llm: server returned %d: %s", resp.StatusCode, errText(data))
+			continue // retryable
+		default:
+			return nil, fmt.Errorf("llm: server returned %d: %s", resp.StatusCode, errText(data))
+		}
+	}
+	return nil, fmt.Errorf("llm: giving up after %d attempts: %w", retries+1, lastErr)
+}
+
+// Chat asks the conversational agent one grounded question. Pass the
+// topic from the previous reply to keep follow-ups on subject.
+func (c *Client) Chat(ctx context.Context, facts Facts, message string, previous Topic) (*ChatResponse, error) {
+	body, err := json.Marshal(ChatRequest{Facts: facts, Message: message, Previous: previous})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/chat", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("llm: server returned %d: %s", resp.StatusCode, errText(data))
+	}
+	var out ChatResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("llm: malformed chat response: %w", err)
+	}
+	return &out, nil
+}
+
+// Models fetches the provider registry from the endpoint.
+func (c *Client) Models(ctx context.Context) ([]Provider, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/models", nil)
+	if err != nil {
+		return nil, err
+	}
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return nil, fmt.Errorf("llm: server returned %d: %s", resp.StatusCode, errText(data))
+	}
+	var out []Provider
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func errText(data []byte) string {
+	var e apiError
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	s := string(data)
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}

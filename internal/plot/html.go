@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HTML wraps the SVG rendering in a self-contained interactive page:
+// wheel zoom, drag pan, double-click reset — the lightweight stand-in for
+// Plotly's interactive HTML output. The chart spec is embedded as JSON in
+// a <script> block so downstream tooling (the LLM stage, tests) can
+// recover the exact data from the artifact.
+func HTML(c *Chart, width, height int) ([]byte, error) {
+	svg, err := SVG(c, width, height)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := c.JSON()
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>")
+	b.WriteString(esc(c.Title))
+	b.WriteString(`</title><style>
+body { font-family: sans-serif; margin: 1em; }
+#chart { border: 1px solid #ddd; cursor: grab; }
+#hint { color: #777; font-size: 12px; }
+</style></head><body>
+<div id="chart">`)
+	b.Write(svg)
+	b.WriteString(`</div>
+<p id="hint">wheel: zoom &middot; drag: pan &middot; double-click: reset &middot; hover points for values</p>
+<script type="application/json" id="chart-spec">
+`)
+	// </script> cannot appear inside the JSON block.
+	b.WriteString(strings.ReplaceAll(string(spec), "</", "<\\/"))
+	b.WriteString(`
+</script>
+<script>
+(function () {
+  var svg = document.querySelector('#chart svg');
+  var vb = svg.getAttribute('viewBox').split(' ').map(Number);
+  var orig = vb.slice();
+  function apply() { svg.setAttribute('viewBox', vb.join(' ')); }
+  svg.addEventListener('wheel', function (e) {
+    e.preventDefault();
+    var f = e.deltaY < 0 ? 0.85 : 1/0.85;
+    var r = svg.getBoundingClientRect();
+    var mx = vb[0] + (e.clientX - r.left) / r.width * vb[2];
+    var my = vb[1] + (e.clientY - r.top) / r.height * vb[3];
+    vb[0] = mx - (mx - vb[0]) * f;
+    vb[1] = my - (my - vb[1]) * f;
+    vb[2] *= f; vb[3] *= f;
+    apply();
+  }, { passive: false });
+  var drag = null;
+  svg.addEventListener('mousedown', function (e) { drag = [e.clientX, e.clientY]; });
+  window.addEventListener('mouseup', function () { drag = null; });
+  window.addEventListener('mousemove', function (e) {
+    if (!drag) return;
+    var r = svg.getBoundingClientRect();
+    vb[0] -= (e.clientX - drag[0]) / r.width * vb[2];
+    vb[1] -= (e.clientY - drag[1]) / r.height * vb[3];
+    drag = [e.clientX, e.clientY];
+    apply();
+  });
+  svg.addEventListener('dblclick', function () { vb = orig.slice(); apply(); });
+})();
+</script>
+</body></html>
+`)
+	return []byte(b.String()), nil
+}
+
+// SpecFromHTML recovers the chart spec embedded in an HTML artifact.
+func SpecFromHTML(page []byte) (*Chart, error) {
+	const open = `<script type="application/json" id="chart-spec">`
+	s := string(page)
+	i := strings.Index(s, open)
+	if i < 0 {
+		return nil, fmt.Errorf("plot: page has no embedded chart spec")
+	}
+	rest := s[i+len(open):]
+	j := strings.Index(rest, "</script>")
+	if j < 0 {
+		return nil, fmt.Errorf("plot: embedded chart spec is unterminated")
+	}
+	raw := strings.ReplaceAll(rest[:j], "<\\/", "</")
+	return FromJSON([]byte(strings.TrimSpace(raw)))
+}

@@ -1,0 +1,39 @@
+package plot
+
+import "slurmsight/internal/slurm"
+
+// palette is the default categorical cycle, assigned to series lacking an
+// explicit color.
+var palette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// StateColor returns the fixed color for a job state, consistent across
+// all figures so state-coded charts compare visually.
+func StateColor(s slurm.State) string {
+	switch s {
+	case slurm.StateCompleted:
+		return "#2ca02c" // green
+	case slurm.StateFailed:
+		return "#d62728" // red
+	case slurm.StateCancelled:
+		return "#ff7f0e" // orange
+	case slurm.StateTimeout:
+		return "#9467bd" // purple
+	case slurm.StateNodeFail:
+		return "#8c564b" // brown
+	case slurm.StateOutOfMemory:
+		return "#e377c2" // magenta
+	default:
+		return "#7f7f7f" // grey
+	}
+}
+
+// seriesColor resolves a series' effective color.
+func seriesColor(c *Chart, i int) string {
+	if c.Series[i].Color != "" {
+		return c.Series[i].Color
+	}
+	return palette[i%len(palette)]
+}

@@ -1,0 +1,294 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geometry of the rendered figure.
+const (
+	marginLeft   = 70.0
+	marginRight  = 140.0 // room for the legend
+	marginTop    = 40.0
+	marginBottom = 55.0
+)
+
+// tooltipLimit bounds how many marks get hover tooltips; beyond it the
+// file size would dwarf the drawing.
+const tooltipLimit = 4000
+
+// axis maps data values to pixels under a scale.
+type axis struct {
+	lo, hi  float64
+	pxLo    float64
+	pxHi    float64
+	scale   Scale
+	flipped bool // y axes grow downward in SVG
+}
+
+func (a *axis) pos(v float64) float64 {
+	lo, hi, x := a.lo, a.hi, v
+	if a.scale == Log10 {
+		lo, hi, x = math.Log10(lo), math.Log10(hi), math.Log10(v)
+	}
+	f := (x - lo) / (hi - lo)
+	if a.flipped {
+		f = 1 - f
+	}
+	return a.pxLo + f*(a.pxHi-a.pxLo)
+}
+
+// dataRange finds the extent of the chart's data on one dimension.
+func dataRange(c *Chart, ofX bool) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range c.Series {
+		vals := c.Series[i].Y
+		if ofX {
+			vals = c.Series[i].X
+		}
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	if lo == hi {
+		hi = lo + 1
+		if lo != 0 {
+			lo, hi = lo-math.Abs(lo)*0.1, hi+math.Abs(hi)*0.1
+		}
+	}
+	return lo, hi
+}
+
+// pad widens a range slightly so marks do not sit on the frame.
+func pad(lo, hi float64, scale Scale) (float64, float64) {
+	if scale == Log10 {
+		return lo / 1.5, hi * 1.5
+	}
+	span := hi - lo
+	return lo - 0.04*span, hi + 0.04*span
+}
+
+// SVG renders the chart to a standalone SVG document.
+func SVG(c *Chart, width, height int) ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if width < 200 || height < 150 {
+		return nil, fmt.Errorf("plot: canvas %dx%d too small", width, height)
+	}
+	w, h := float64(width), float64(height)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`,
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	fmt.Fprintf(&b, `<text x="%g" y="24" font-size="16" text-anchor="middle">%s</text>`,
+		w/2, esc(c.Title))
+
+	plotL, plotR := marginLeft, w-marginRight
+	plotT, plotB := marginTop, h-marginBottom
+
+	switch c.Kind {
+	case StackedBar, GroupedBar:
+		renderBars(&b, c, plotL, plotR, plotT, plotB)
+	default:
+		renderXY(&b, c, plotL, plotR, plotT, plotB)
+	}
+	renderLegend(&b, c, plotR+12, plotT)
+
+	// Axis titles.
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="12" text-anchor="middle">%s</text>`,
+		(plotL+plotR)/2, h-12, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`,
+		(plotT+plotB)/2, (plotT+plotB)/2, esc(c.YLabel))
+
+	b.WriteString("</svg>")
+	return []byte(b.String()), nil
+}
+
+// renderXY draws scatter and line charts with full axes.
+func renderXY(b *strings.Builder, c *Chart, plotL, plotR, plotT, plotB float64) {
+	xlo, xhi := dataRange(c, true)
+	ylo, yhi := dataRange(c, false)
+	xlo, xhi = pad(xlo, xhi, c.XScale)
+	ylo, yhi = pad(ylo, yhi, c.YScale)
+	if c.XScale == Log10 && xlo <= 0 {
+		xlo = 1e-9
+	}
+	if c.YScale == Log10 && ylo <= 0 {
+		ylo = 1e-9
+	}
+	xa := &axis{lo: xlo, hi: xhi, pxLo: plotL, pxHi: plotR, scale: c.XScale}
+	ya := &axis{lo: ylo, hi: yhi, pxLo: plotB, pxHi: plotT, scale: c.YScale}
+
+	drawFrame(b, plotL, plotR, plotT, plotB)
+	drawXTicks(b, c, xa, plotB)
+	drawYTicks(b, c, ya, plotL, plotR)
+
+	tooltips := c.Points() <= tooltipLimit
+	for i := range c.Series {
+		s := &c.Series[i]
+		color := seriesColor(c, i)
+		if c.Kind == Line {
+			var pts []string
+			for j := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", xa.pos(s.X[j]), ya.pos(s.Y[j])))
+			}
+			fmt.Fprintf(b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`,
+				color, strings.Join(pts, " "))
+			continue
+		}
+		for j := range s.X {
+			px, py := xa.pos(s.X[j]), ya.pos(s.Y[j])
+			title := ""
+			if tooltips {
+				title = fmt.Sprintf("<title>%s: (%s, %s)</title>",
+					esc(s.Name), formatTick(s.X[j], c.XTime), formatTick(s.Y[j], false))
+			}
+			switch s.Marker {
+			case Plus:
+				fmt.Fprintf(b, `<g stroke="%s" stroke-width="1.2">%s<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/><line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/></g>`,
+					color, title, px-3, py, px+3, py, px, py-3, px, py+3)
+			case Square:
+				fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="5" height="5" fill="%s" fill-opacity="0.6">%s</rect>`,
+					px-2.5, py-2.5, color, title)
+			default:
+				fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="%s" fill-opacity="0.6">%s</circle>`,
+					px, py, color, title)
+			}
+		}
+	}
+}
+
+// renderBars draws stacked or grouped bar charts over categories.
+func renderBars(b *strings.Builder, c *Chart, plotL, plotR, plotT, plotB float64) {
+	ncat := len(c.Categories)
+	// Y range: tallest stack (stacked) or tallest bar (grouped).
+	maxY := 0.0
+	for j := 0; j < ncat; j++ {
+		stack := 0.0
+		for i := range c.Series {
+			v := c.Series[i].Y[j]
+			if c.Kind == StackedBar {
+				stack += v
+			} else if v > stack {
+				stack = v
+			}
+		}
+		if stack > maxY {
+			maxY = stack
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	ya := &axis{lo: 0, hi: maxY * 1.05, pxLo: plotB, pxHi: plotT, scale: c.YScale}
+	if c.YScale == Log10 {
+		ya.lo = 0.5
+	}
+	drawFrame(b, plotL, plotR, plotT, plotB)
+	drawYTicks(b, c, ya, plotL, plotR)
+
+	slot := (plotR - plotL) / float64(ncat)
+	barW := slot * 0.7
+	maxLabels := 30
+	labelStride := (ncat + maxLabels - 1) / maxLabels
+	for j := 0; j < ncat; j++ {
+		x0 := plotL + float64(j)*slot + slot*0.15
+		if j%labelStride == 0 {
+			fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="end" transform="rotate(-45 %.1f %.1f)">%s</text>`,
+				x0+barW/2, plotB+12, x0+barW/2, plotB+12, esc(c.Categories[j]))
+		}
+		if c.Kind == StackedBar {
+			base := 0.0
+			for i := range c.Series {
+				v := c.Series[i].Y[j]
+				if v <= 0 {
+					base += v
+					continue
+				}
+				yTop := ya.pos(base + v)
+				yBot := ya.pos(base)
+				fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s / %s: %s</title></rect>`,
+					x0, yTop, barW, yBot-yTop, seriesColor(c, i),
+					esc(c.Categories[j]), esc(c.Series[i].Name), trimF(v))
+				base += v
+			}
+			continue
+		}
+		gw := barW / float64(len(c.Series))
+		for i := range c.Series {
+			v := c.Series[i].Y[j]
+			if v <= 0 {
+				continue
+			}
+			yTop := ya.pos(v)
+			fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s / %s: %s</title></rect>`,
+				x0+float64(i)*gw, yTop, gw*0.9, ya.pos(ya.lo)-yTop, seriesColor(c, i),
+				esc(c.Categories[j]), esc(c.Series[i].Name), trimF(v))
+		}
+	}
+}
+
+func drawFrame(b *strings.Builder, l, r, t, bot float64) {
+	fmt.Fprintf(b, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#888"/>`,
+		l, t, r-l, bot-t)
+}
+
+func drawXTicks(b *strings.Builder, c *Chart, xa *axis, plotB float64) {
+	var ticks []float64
+	if c.XScale == Log10 {
+		ticks = logTicks(xa.lo, xa.hi)
+	} else {
+		ticks = niceTicks(xa.lo, xa.hi, 7)
+	}
+	for _, v := range ticks {
+		if v < xa.lo || v > xa.hi {
+			continue
+		}
+		px := xa.pos(v)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%g" x2="%.1f" y2="%g" stroke="#888"/>`, px, plotB, px, plotB+4)
+		fmt.Fprintf(b, `<text x="%.1f" y="%g" font-size="10" text-anchor="middle">%s</text>`,
+			px, plotB+16, formatTick(v, c.XTime))
+	}
+}
+
+func drawYTicks(b *strings.Builder, c *Chart, ya *axis, plotL, plotR float64) {
+	var ticks []float64
+	if c.YScale == Log10 {
+		ticks = logTicks(ya.lo, ya.hi)
+	} else {
+		ticks = niceTicks(ya.lo, ya.hi, 6)
+	}
+	for _, v := range ticks {
+		if v < ya.lo || v > ya.hi {
+			continue
+		}
+		py := ya.pos(v)
+		fmt.Fprintf(b, `<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="#eee"/>`, plotL, py, plotR, py)
+		fmt.Fprintf(b, `<text x="%g" y="%.1f" font-size="10" text-anchor="end">%s</text>`,
+			plotL-6, py+3, formatTick(v, false))
+	}
+}
+
+func renderLegend(b *strings.Builder, c *Chart, x, y float64) {
+	for i := range c.Series {
+		py := y + float64(i)*18
+		fmt.Fprintf(b, `<rect x="%g" y="%g" width="10" height="10" fill="%s"/>`, x, py, seriesColor(c, i))
+		fmt.Fprintf(b, `<text x="%g" y="%g" font-size="11">%s</text>`, x+14, py+9, esc(c.Series[i].Name))
+	}
+}
+
+// esc escapes XML-special characters in labels.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

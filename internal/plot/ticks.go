@@ -1,0 +1,75 @@
+package plot
+
+import (
+	"math"
+	"strconv"
+	"time"
+)
+
+// niceTicks returns ~n pleasant tick positions covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if span/(step*m) <= float64(n) {
+			step *= m
+			break
+		}
+	}
+	first := math.Ceil(lo/step) * step
+	var out []float64
+	for v := first; v <= hi+step/1e6; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// logTicks returns decade ticks covering [lo, hi] (both positive).
+func logTicks(lo, hi float64) []float64 {
+	start := math.Floor(math.Log10(lo))
+	end := math.Ceil(math.Log10(hi))
+	var out []float64
+	for e := start; e <= end; e++ {
+		out = append(out, math.Pow(10, e))
+	}
+	return out
+}
+
+// formatTick renders an axis label compactly.
+func formatTick(v float64, timeAxis bool) string {
+	if timeAxis {
+		return time.Unix(int64(v), 0).UTC().Format("2006-01-02")
+	}
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e9:
+		return trimF(v/1e9) + "G"
+	case av >= 1e6:
+		return trimF(v/1e6) + "M"
+	case av >= 1e3:
+		return trimF(v/1e3) + "k"
+	case av < 0.01:
+		return strconv.FormatFloat(v, 'e', 1, 64)
+	default:
+		return trimF(v)
+	}
+}
+
+func trimF(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

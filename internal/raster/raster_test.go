@@ -1,0 +1,175 @@
+package raster
+
+import (
+	"bytes"
+	"image/png"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slurmsight/internal/plot"
+)
+
+func testChart() *plot.Chart {
+	return &plot.Chart{
+		Title: "Wait times", XLabel: "submit", YLabel: "wait (s)",
+		Kind: plot.Scatter, YScale: plot.Log10,
+		Series: []plot.Series{
+			{Name: "COMPLETED", X: []float64{1, 2, 3}, Y: []float64{10, 100, 1000}, Color: "#2ca02c"},
+			{Name: "FAILED", X: []float64{1.5, 2.5}, Y: []float64{50, 500}, Marker: plot.Plus, Color: "#d62728"},
+		},
+	}
+}
+
+func decode(t *testing.T, data []byte) (w, h int) {
+	t.Helper()
+	img, err := png.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("invalid PNG: %v", err)
+	}
+	b := img.Bounds()
+	return b.Dx(), b.Dy()
+}
+
+func TestPNGScatter(t *testing.T) {
+	data, err := PNG(testChart(), 640, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := decode(t, data)
+	if w != 640 || h != 400 {
+		t.Errorf("dimensions = %dx%d", w, h)
+	}
+}
+
+func TestPNGHasInk(t *testing.T) {
+	data, err := PNG(testChart(), 640, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonWhite := 0
+	b := img.Bounds()
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			r, g, bl, _ := img.At(x, y).RGBA()
+			if r != 0xFFFF || g != 0xFFFF || bl != 0xFFFF {
+				nonWhite++
+			}
+		}
+	}
+	if nonWhite < 500 {
+		t.Errorf("image nearly blank: %d non-white pixels", nonWhite)
+	}
+}
+
+func TestPNGBarsAndLine(t *testing.T) {
+	bars := &plot.Chart{
+		Title: "States per user", XLabel: "user", YLabel: "jobs",
+		Kind:       plot.StackedBar,
+		Categories: []string{"u1", "u2"},
+		Series: []plot.Series{
+			{Name: "OK", Y: []float64{5, 3}},
+			{Name: "FAIL", Y: []float64{1, 2}},
+		},
+	}
+	if _, err := PNG(bars, 400, 300); err != nil {
+		t.Errorf("stacked bars: %v", err)
+	}
+	bars.Kind = plot.GroupedBar
+	if _, err := PNG(bars, 400, 300); err != nil {
+		t.Errorf("grouped bars: %v", err)
+	}
+	line := &plot.Chart{
+		Title: "Volume", XLabel: "year", YLabel: "jobs", Kind: plot.Line,
+		Series: []plot.Series{{Name: "jobs", X: []float64{1, 2, 3}, Y: []float64{4, 5, 6}}},
+	}
+	if _, err := PNG(line, 400, 300); err != nil {
+		t.Errorf("line: %v", err)
+	}
+}
+
+func TestPNGErrors(t *testing.T) {
+	if _, err := PNG(&plot.Chart{}, 640, 400); err == nil {
+		t.Error("invalid chart: want error")
+	}
+	if _, err := PNG(testChart(), 10, 10); err == nil {
+		t.Error("tiny canvas: want error")
+	}
+}
+
+func TestWriteAndFromHTML(t *testing.T) {
+	dir := t.TempDir()
+	c := testChart()
+	pngPath := filepath.Join(dir, "chart.png")
+	if err := WritePNGFile(pngPath, c, 640, 400); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(pngPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, data)
+
+	// Full HTML2PNG path: HTML artifact → embedded spec → PNG.
+	page, err := plot.HTML(c, 640, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	htmlPath := filepath.Join(dir, "chart.html")
+	if err := os.WriteFile(htmlPath, page, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "fromhtml.png")
+	if err := FromHTMLFile(htmlPath, outPath, 640, 400); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, data)
+
+	if err := FromHTMLFile(filepath.Join(dir, "missing.html"), outPath, 640, 400); err == nil {
+		t.Error("missing HTML: want error")
+	}
+	bad := filepath.Join(dir, "nospec.html")
+	os.WriteFile(bad, []byte("<html></html>"), 0o644)
+	if err := FromHTMLFile(bad, outPath, 640, 400); err == nil {
+		t.Error("HTML without spec: want error")
+	}
+}
+
+func TestParseColor(t *testing.T) {
+	c := parseColor("#2ca02c")
+	if c.R != 0x2c || c.G != 0xa0 || c.B != 0x2c {
+		t.Errorf("parseColor = %+v", c)
+	}
+	if parseColor("red") != black {
+		t.Error("invalid colors should fall back to black")
+	}
+	if parseColor("#zzzzzz") != black {
+		t.Error("bad hex should fall back to black")
+	}
+}
+
+func TestCanvasPrimitives(t *testing.T) {
+	cv := newCanvas(20, 20)
+	cv.set(-5, -5, black) // out of bounds must be a no-op
+	cv.line(0, 0, 19, 19, black)
+	cv.disc(10, 10, 3, black)
+	cv.text(1, 1, "A1?", black) // '?' falls back to a dash glyph
+	found := false
+	for _, p := range cv.img.Pix {
+		if p != 0xFF {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("primitives drew nothing")
+	}
+}

@@ -1,0 +1,156 @@
+package sacct
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"slurmsight/internal/slurm"
+)
+
+// Query selects accounting rows the way the workflow's sacct invocation
+// does: a field list, a submit-time window, and optional filters.
+type Query struct {
+	// Fields is the output column selection; empty means the full curated
+	// selection.
+	Fields []string
+
+	// Start (inclusive) and End (exclusive) bound the submission time.
+	// Zero values leave that side unbounded.
+	Start, End time.Time
+
+	// IncludeSteps keeps step records; when false only job-level rows are
+	// returned (sacct -X).
+	IncludeSteps bool
+
+	// Optional filters; empty matches everything.
+	User      string
+	Account   string
+	Partition string
+	State     string // canonical state spelling
+}
+
+// validate resolves the field list and state filter.
+func (q *Query) validate() ([]string, slurm.State, bool, error) {
+	fields := q.Fields
+	if len(fields) == 0 {
+		fields = slurm.SelectedNames()
+	}
+	for _, f := range fields {
+		if _, ok := slurm.FieldByName(f); !ok {
+			return nil, 0, false, fmt.Errorf("sacct: unknown field %q", f)
+		}
+	}
+	if !q.Start.IsZero() && !q.End.IsZero() && !q.Start.Before(q.End) {
+		return nil, 0, false, fmt.Errorf("sacct: query window is empty")
+	}
+	var st slurm.State
+	filterState := false
+	if q.State != "" {
+		parsed, err := slurm.ParseState(q.State)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		st, filterState = parsed, true
+	}
+	return fields, st, filterState, nil
+}
+
+func (q *Query) matches(r *slurm.Record, st slurm.State, filterState bool) bool {
+	if !q.IncludeSteps && r.IsStep() {
+		return false
+	}
+	if !q.Start.IsZero() && r.Submit.Before(q.Start) {
+		return false
+	}
+	if !q.End.IsZero() && !r.Submit.Before(q.End) {
+		return false
+	}
+	if q.User != "" && r.User != q.User {
+		return false
+	}
+	if q.Account != "" && r.Account != q.Account {
+		return false
+	}
+	if q.Partition != "" && r.Partition != q.Partition {
+		return false
+	}
+	if filterState && r.State != st {
+		return false
+	}
+	return true
+}
+
+// monthsIn returns the store shards overlapping the query window.
+func (s *Store) monthsIn(q *Query) []Month {
+	var out []Month
+	for _, m := range s.Months() {
+		if !q.Start.IsZero() && !m.Next().Start().After(q.Start) {
+			continue // shard ends at or before the window start
+		}
+		if !q.End.IsZero() && !m.Start().Before(q.End) {
+			continue // shard begins at or after the window end
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Select returns matching records (copies) in shard order.
+func (s *Store) Select(q Query) ([]slurm.Record, error) {
+	_, st, filterState, err := q.validate()
+	if err != nil {
+		return nil, err
+	}
+	var out []slurm.Record
+	for _, m := range s.monthsIn(&q) {
+		s.mu.RLock()
+		shard := s.shards[m]
+		s.mu.RUnlock()
+		for i := range shard {
+			if q.matches(&shard[i], st, filterState) {
+				out = append(out, shard[i])
+			}
+		}
+	}
+	return out, nil
+}
+
+// Write emits matching rows as pipe-separated text with a header, the
+// format the workflow's "Obtain data" stage stores on disk.
+func (s *Store) Write(w io.Writer, q Query) (int, error) {
+	fields, st, filterState, err := q.validate()
+	if err != nil {
+		return 0, err
+	}
+	var sb strings.Builder
+	sb.WriteString(slurm.Header(fields))
+	sb.WriteByte('\n')
+	n := 0
+	for _, m := range s.monthsIn(&q) {
+		s.mu.RLock()
+		shard := s.shards[m]
+		s.mu.RUnlock()
+		for i := range shard {
+			if !q.matches(&shard[i], st, filterState) {
+				continue
+			}
+			line, err := slurm.EncodeRecord(&shard[i], fields)
+			if err != nil {
+				return n, err
+			}
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+			n++
+			if sb.Len() > 1<<16 {
+				if _, err := io.WriteString(w, sb.String()); err != nil {
+					return n, err
+				}
+				sb.Reset()
+			}
+		}
+	}
+	_, err = io.WriteString(w, sb.String())
+	return n, err
+}

@@ -1,0 +1,264 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"slurmsight/internal/cluster"
+	"slurmsight/internal/slurm"
+	"slurmsight/internal/tracegen"
+)
+
+// tinyProfile builds a randomized workload profile for the 10-node test
+// system, seeded so every property-check iteration sees a fresh shape.
+func tinyProfile(rng *rand.Rand, sys *cluster.System) tracegen.Profile {
+	day := func(h float64) float64 { return h * 3600 }
+	mk := func(name string, qos string) tracegen.Class {
+		return tracegen.Class{
+			Name:         name,
+			Weight:       0.2 + rng.Float64(),
+			Nodes:        tracegen.Clamped{D: tracegen.LogNormalMedian(1+rng.Float64()*4, 1.8), Lo: 1, Hi: 10},
+			Runtime:      tracegen.Clamped{D: tracegen.LogNormalMedian(day(0.2+rng.Float64()), 2.0), Lo: 30, Hi: day(20)},
+			Overestimate: tracegen.Clamped{D: tracegen.LogNormalMedian(1.5+rng.Float64()*2, 1.5), Lo: 1, Hi: 10},
+			Steps:        tracegen.Clamped{D: tracegen.LogNormalMedian(3, 2), Lo: 1, Hi: 20},
+			FailRate:     rng.Float64() * 0.2,
+			CancelRate:   rng.Float64() * 0.15,
+			TimeoutRate:  rng.Float64() * 0.1,
+			ChainProb:    rng.Float64() * 0.3,
+			ChainLen:     tracegen.Clamped{D: tracegen.LogNormalMedian(3, 1.4), Lo: 2, Hi: 6},
+			QOS:          qos,
+		}
+	}
+	return tracegen.Profile{
+		Name:       "tiny-random",
+		System:     sys,
+		Users:      3 + rng.Intn(10),
+		UserSkew:   0.5 + rng.Float64(),
+		FailSpread: 1 + rng.Float64()*2,
+		JobsPerDay: 10 + rng.Float64()*30,
+		Classes: []tracegen.Class{
+			mk("a", "normal"),
+			mk("b", "debug"),
+			mk("urgent", "urgent"),
+			mk("soak", "preemptible"),
+		},
+	}
+}
+
+// runRandomWorkload simulates one random workload and returns its result.
+func runRandomWorkload(t *testing.T, seed int64, reservations bool) (*Result, *cluster.System) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sys := preemptSystem()
+	p := tinyProfile(rng, sys)
+	if rng.Intn(2) == 0 {
+		// Half the random workloads mix in a sub-node class.
+		p.Classes[0].SubNodeCores = tracegen.Clamped{D: tracegen.LogNormalMedian(3, 1.8), Lo: 1, Hi: 8}
+	}
+	start := t0
+	reqs, err := tracegen.Generate([]tracegen.Phase{{
+		Profile: p, Start: start, End: start.AddDate(0, 0, 3),
+	}}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) == 0 {
+		return nil, sys
+	}
+	cfg := DefaultConfig(sys)
+	cfg.Seed = seed
+	cfg.EnableNodeSharing = seed%2 == 0
+	if reservations {
+		cfg.Reservations = []Reservation{{
+			Name:  "window",
+			Nodes: 1 + rng.Intn(4),
+			Start: start.Add(time.Duration(rng.Intn(24)) * time.Hour),
+			End:   start.Add(time.Duration(24+rng.Intn(24)) * time.Hour),
+		}}
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(reqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sys
+}
+
+// checkNoOverallocation replays allocation edges in cores (NCPUs, which
+// carries the true allocation for both whole-node and shared jobs) and
+// asserts the busy count never exceeds capacity at any instant.
+func checkNoOverallocation(t *testing.T, jobs []slurm.Record, capacityCores int) {
+	t.Helper()
+	type edge struct {
+		at    time.Time
+		nodes int64
+	}
+	var edges []edge
+	for i := range jobs {
+		j := &jobs[i]
+		if j.Start.IsZero() {
+			continue
+		}
+		edges = append(edges, edge{j.Start, +j.NCPUs}, edge{j.End, -j.NCPUs})
+	}
+	sort.SliceStable(edges, func(a, b int) bool {
+		if !edges[a].at.Equal(edges[b].at) {
+			return edges[a].at.Before(edges[b].at)
+		}
+		return edges[a].nodes < edges[b].nodes // releases before grabs at ties
+	})
+	var busy int64
+	for _, e := range edges {
+		busy += e.nodes
+		if busy > int64(capacityCores) {
+			t.Fatalf("over-allocation: %d cores busy of %d", busy, capacityCores)
+		}
+	}
+	if busy != 0 {
+		t.Fatalf("allocation imbalance at end: %d", busy)
+	}
+}
+
+// TestPropertySchedulerInvariants runs randomized workloads through the
+// simulator and checks the invariants every Slurm trace satisfies.
+func TestPropertySchedulerInvariants(t *testing.T) {
+	f := func(seed uint16) bool {
+		res, sys := runRandomWorkload(t, int64(seed)+1, seed%3 == 0)
+		if res == nil {
+			return true
+		}
+		checkNoOverallocation(t, res.Jobs, int(sys.TotalCores()))
+		for i := range res.Jobs {
+			j := &res.Jobs[i]
+			if !j.State.Terminal() {
+				t.Fatalf("seed %d: job %v non-terminal %v", seed, j.ID, j.State)
+			}
+			if j.Start.IsZero() {
+				if j.State != slurm.StateCancelled {
+					t.Fatalf("seed %d: never-started job %v in %v", seed, j.ID, j.State)
+				}
+				continue
+			}
+			if j.Start.Before(j.Submit) {
+				t.Fatalf("seed %d: job %v started before submit", seed, j.ID)
+			}
+			if j.Eligible.Before(j.Submit) || j.Start.Before(j.Eligible) {
+				t.Fatalf("seed %d: job %v eligibility out of order", seed, j.ID)
+			}
+			if j.Elapsed > j.Timelimit {
+				t.Fatalf("seed %d: job %v ran past its limit", seed, j.ID)
+			}
+			if j.End.Sub(j.Start) != j.Elapsed {
+				t.Fatalf("seed %d: job %v elapsed inconsistent", seed, j.ID)
+			}
+			if j.State == slurm.StateTimeout && j.Elapsed != j.Timelimit {
+				t.Fatalf("seed %d: timeout %v at %v of %v", seed, j.ID, j.Elapsed, j.Timelimit)
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyChainOrdering asserts that every dependent job starts only
+// after its predecessor completed, across random workloads.
+func TestPropertyChainOrdering(t *testing.T) {
+	f := func(seed uint16) bool {
+		res, _ := runRandomWorkload(t, int64(seed)+1000, false)
+		if res == nil {
+			return true
+		}
+		byID := map[string]*slurm.Record{}
+		for i := range res.Jobs {
+			byID[res.Jobs[i].ID.String()] = &res.Jobs[i]
+		}
+		for i := range res.Jobs {
+			j := &res.Jobs[i]
+			if j.Dependency == "" || j.Start.IsZero() {
+				continue
+			}
+			predID := j.Dependency[len("afterok:"):]
+			pred, ok := byID[predID]
+			if !ok {
+				t.Fatalf("seed %d: dependency %q dangles", seed, j.Dependency)
+			}
+			if pred.State != slurm.StateCompleted {
+				t.Fatalf("seed %d: job %v ran after non-completed predecessor (%v)",
+					seed, j.ID, pred.State)
+			}
+			if j.Start.Before(pred.End) {
+				t.Fatalf("seed %d: job %v started before predecessor end", seed, j.ID)
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyAccountingBalance: every request yields exactly one job
+// record; counts in RunStats add up.
+func TestPropertyAccountingBalance(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := rand.New(rand.NewSource(int64(seed) + 2000))
+		sys := preemptSystem()
+		p := tinyProfile(rng, sys)
+		reqs, err := tracegen.Generate([]tracegen.Phase{{
+			Profile: p, Start: t0, End: t0.AddDate(0, 0, 2),
+		}}, int64(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reqs) == 0 {
+			return true
+		}
+		sim, err := New(DefaultConfig(sys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(reqs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Jobs) != len(reqs) {
+			t.Fatalf("seed %d: %d records for %d requests", seed, len(res.Jobs), len(reqs))
+		}
+		st := res.Stats
+		terminal := st.JobsCompleted + st.JobsFailed + st.JobsCancelled +
+			st.JobsTimeout + st.JobsNodeFail + st.JobsOOM
+		if terminal != len(reqs) {
+			t.Fatalf("seed %d: stats count %d of %d jobs", seed, terminal, len(reqs))
+		}
+		if st.NeverStarted > st.JobsCancelled {
+			t.Fatalf("seed %d: NeverStarted %d > cancelled %d", seed, st.NeverStarted, st.JobsCancelled)
+		}
+		if u := st.Utilization(); u < 0 || u > 1.0001 {
+			t.Fatalf("seed %d: utilization %v", seed, u)
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,296 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"slurmsight/internal/slurm"
+)
+
+// buildResult converts finished simulator jobs into accounting records.
+func (s *Simulator) buildResult(jobs []*job, arrayBase map[int64]int64, opts Options) (*Result, error) {
+	res := &Result{
+		Jobs:        make([]slurm.Record, 0, len(jobs)),
+		StepsPerJob: make([]int, 0, len(jobs)),
+		Stats:       s.stats,
+	}
+	for _, j := range jobs {
+		rng := rand.New(rand.NewSource(s.cfg.Seed ^ (j.seq+1)*0x9E3779B9))
+		rec, steps := s.materialize(j, arrayBase, rng, opts.EmitSteps)
+		res.Jobs = append(res.Jobs, rec)
+		nsteps := 0
+		if j.started {
+			nsteps = j.req.Steps + 2 // numbered + batch + extern
+		}
+		res.StepsPerJob = append(res.StepsPerJob, nsteps)
+		if opts.EmitSteps {
+			res.Steps = append(res.Steps, steps...)
+		}
+	}
+	return res, nil
+}
+
+// exitFor maps a terminal state to a plausible exit:signal pair.
+func exitFor(st slurm.State, rng *rand.Rand) (int, int) {
+	switch st {
+	case slurm.StateFailed:
+		return 1 + rng.Intn(127), 0
+	case slurm.StateCancelled:
+		return 0, 15 // SIGTERM
+	case slurm.StateTimeout:
+		return 0, 1
+	case slurm.StateOutOfMemory:
+		return 0, 9 // OOM-killed
+	case slurm.StateNodeFail:
+		return 0, 0
+	default:
+		return 0, 0
+	}
+}
+
+// nodeListFor renders a synthetic contiguous allocation.
+func nodeListFor(cluster string, nodes int) string {
+	if nodes == 1 {
+		return fmt.Sprintf("%s000000", cluster)
+	}
+	return fmt.Sprintf("%s[%06d-%06d]", cluster, 0, nodes-1)
+}
+
+// materialize builds the job record and, when emitSteps is set, its step
+// records.
+func (s *Simulator) materialize(j *job, arrayBase map[int64]int64, rng *rand.Rand, emitSteps bool) (slurm.Record, []slurm.Record) {
+	sys := s.cfg.System
+	r := &j.req
+	nodes := int64(r.Nodes)
+	cores := int64(sys.CoresPerNode)
+	allocCPUs := int64(j.cores)
+	// Sub-node allocations scale per-node resources to their core share.
+	reqMem := sys.MemPerNode
+	if r.Cores > 0 {
+		reqMem = sys.MemPerNode * int64(r.Cores) / cores
+	}
+
+	rec := slurm.Record{
+		ID:        j.id,
+		JobName:   r.JobName,
+		User:      r.User,
+		UID:       10000 + hash32(r.User)%50000,
+		Group:     r.Account,
+		Account:   r.Account,
+		Cluster:   sys.Name,
+		Partition: r.Partition,
+		Submit:    r.Submit,
+		Eligible:  j.eligible,
+		Timelimit: r.Timelimit,
+		Restarts:  j.restarts,
+		NNodes:    nodes,
+		NCPUs:     allocCPUs,
+		ReqNodes:  nodes,
+		ReqCPUs:   allocCPUs,
+		ReqMem:    reqMem,
+		State:     j.state,
+		QOS:       r.QOS,
+		QOSReq:    r.QOS,
+		Priority:  j.priority,
+		Comment:   r.Class,
+		WorkDir:   fmt.Sprintf("/lustre/orion/%s/scratch/%s", r.Account, r.User),
+		TRESReq: slurm.TRES{
+			"cpu":  allocCPUs,
+			"mem":  nodes * reqMem,
+			"node": nodes,
+		},
+		TRESUsageInAve: slurm.TRES{},
+	}
+	if sys.GPUsPerNode > 0 {
+		rec.TRESReq["gres/gpu"] = nodes * int64(sys.GPUsPerNode)
+	}
+	if r.ArrayID != 0 {
+		rec.ArrayJobID = arrayBase[r.ArrayID]
+	}
+	if j.depPred != nil {
+		rec.Dependency = "afterok:" + j.depPred.id.String()
+	}
+	if r.Reservation != "" {
+		rec.Reservation = r.Reservation
+		if rp, ok := s.resByName[r.Reservation]; ok {
+			for i, p := range s.resPools {
+				if p == rp {
+					rec.ReservationID = int64(i + 1)
+				}
+			}
+		}
+	}
+	rec.ExitCode, rec.ExitSignal = exitFor(j.state, rng)
+	rec.DerivedExitCode = slurm.FormatExitCode(rec.ExitCode, rec.ExitSignal)
+
+	if !j.started {
+		// Cancelled while pending or held: no start, no usage.
+		rec.End = j.end
+		rec.Reason = "Priority"
+		if j.reason != "" {
+			rec.Reason = j.reason
+		}
+		return rec, nil
+	}
+
+	elapsed := j.end.Sub(j.start)
+	rec.Start = j.start
+	rec.End = j.end
+	rec.Elapsed = elapsed
+	rec.NodeList = nodeListFor(sys.Name, r.Nodes)
+	if j.backfill {
+		rec.Flags = []string{slurm.FlagBackfill}
+	} else {
+		rec.Flags = []string{slurm.FlagMain}
+	}
+	switch {
+	case j.reason != "":
+		rec.Reason = j.reason
+	default:
+		if wait, ok := rec.WaitTime(); ok && wait > time.Minute {
+			rec.Reason = "Priority"
+		} else {
+			rec.Reason = "None"
+		}
+	}
+	// Runtime discarded by preemptions shows as suspended time, keeping
+	// the record's walltime accounting whole.
+	rec.Suspended = j.lost
+
+	// Synthesized usage: CPU efficiency, memory footprint, IO volume and
+	// energy, all scaled to allocation and runtime.
+	eff := 0.35 + 0.6*rng.Float64()
+	totalCPU := time.Duration(float64(elapsed) * float64(allocCPUs) * eff)
+	rec.TotalCPU = totalCPU
+	rec.UserCPU = time.Duration(float64(totalCPU) * (0.85 + 0.1*rng.Float64()))
+	rec.SystemCPU = totalCPU - rec.UserCPU
+	memFrac := 0.05 + 0.7*rng.Float64()
+	rec.MaxRSS = int64(float64(sys.MemPerNode) * memFrac)
+	rec.AveRSS = int64(float64(rec.MaxRSS) * (0.5 + 0.4*rng.Float64()))
+	rec.VMSize = rec.MaxRSS + rec.MaxRSS/4
+	rec.MaxVMSize = rec.VMSize
+	rec.AvePages = rng.Int63n(1 << 16)
+	ioScale := float64(elapsed.Seconds()) * float64(nodes)
+	rec.MaxDiskRead = int64(ioScale * (1 << 18) * rng.Float64())
+	rec.AveDiskRead = int64(float64(rec.MaxDiskRead) * (0.4 + 0.5*rng.Float64()))
+	rec.MaxDiskWrite = int64(ioScale * (1 << 17) * rng.Float64())
+	rec.AveDiskWrite = int64(float64(rec.MaxDiskWrite) * (0.4 + 0.5*rng.Float64()))
+	// ~550 W per node plus GPU draw when busy.
+	watts := 550.0 + 75.0*float64(sys.GPUsPerNode)*eff
+	rec.ConsumedEnergy = int64(watts * float64(nodes) * elapsed.Seconds())
+	rec.TRESUsageInAve = slurm.TRES{
+		"cpu": int64(float64(cores) * eff),
+		"mem": rec.AveRSS,
+	}
+
+	tasksPerNode := int64(1) << uint(rng.Intn(4)) // 1, 2, 4, or 8 tasks/node
+	if tasksPerNode > cores {
+		tasksPerNode = cores
+	}
+	rec.NTasks = nodes * tasksPerNode
+
+	var steps []slurm.Record
+	if emitSteps {
+		steps = s.synthesizeSteps(j, &rec, tasksPerNode, rng)
+	}
+	return rec, steps
+}
+
+// synthesizeSteps builds the batch/extern pseudo-steps and the numbered
+// srun steps, sequential in time, with the failure (if any) landing on the
+// final step.
+func (s *Simulator) synthesizeSteps(j *job, jobRec *slurm.Record, tasksPerNode int64, rng *rand.Rand) []slurm.Record {
+	elapsed := jobRec.Elapsed
+	n := j.req.Steps
+	steps := make([]slurm.Record, 0, n+2)
+
+	mkStep := func(id slurm.JobID, start, end time.Time, nnodes, ntasks int64, st slurm.State, layout string) slurm.Record {
+		rec := slurm.Record{
+			ID:             id,
+			JobName:        jobRec.JobName,
+			User:           jobRec.User,
+			Account:        jobRec.Account,
+			Cluster:        jobRec.Cluster,
+			Partition:      jobRec.Partition,
+			Submit:         jobRec.Submit,
+			Eligible:       jobRec.Eligible,
+			Start:          start,
+			End:            end,
+			Elapsed:        end.Sub(start),
+			Timelimit:      jobRec.Timelimit,
+			NNodes:         nnodes,
+			NCPUs:          nnodes * int64(s.cfg.System.CoresPerNode),
+			NTasks:         ntasks,
+			State:          st,
+			QOS:            jobRec.QOS,
+			Layout:         layout,
+			NodeList:       nodeListFor(s.cfg.System.Name, int(nnodes)),
+			WorkDir:        jobRec.WorkDir,
+			Comment:        jobRec.Comment,
+			TRESReq:        slurm.TRES{},
+			TRESUsageInAve: slurm.TRES{},
+		}
+		rec.ExitCode, rec.ExitSignal = exitFor(st, rng)
+		dur := end.Sub(start)
+		eff := 0.3 + 0.65*rng.Float64()
+		rec.TotalCPU = time.Duration(float64(dur) * float64(rec.NCPUs) * eff)
+		if ntasks > 0 {
+			rec.AveCPU = rec.TotalCPU / time.Duration(ntasks)
+		}
+		rec.MaxRSS = int64(float64(jobRec.MaxRSS) * (0.3 + 0.7*rng.Float64()))
+		rec.AveRSS = int64(float64(rec.MaxRSS) * 0.8)
+		return rec
+	}
+
+	// Batch script wraps the whole job on the lead node.
+	steps = append(steps, mkStep(j.id.WithBatch(), jobRec.Start, jobRec.End, 1, 1, j.state, ""))
+	// Extern step spans the allocation.
+	externID := j.id
+	externID.Kind = slurm.StepExtern
+	steps = append(steps, mkStep(externID, jobRec.Start, jobRec.End, jobRec.NNodes, jobRec.NNodes, slurm.StateCompleted, "cyclic"))
+
+	// Numbered srun steps run back-to-back over ~90% of the walltime.
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 0.2 + rng.Float64()
+		total += weights[i]
+	}
+	span := time.Duration(float64(elapsed) * 0.9)
+	cursor := jobRec.Start
+	for i := 0; i < n; i++ {
+		dur := time.Duration(float64(span) * weights[i] / total)
+		if dur < time.Second {
+			dur = time.Second
+		}
+		end := cursor.Add(dur)
+		if end.After(jobRec.End) {
+			end = jobRec.End
+		}
+		st := slurm.StateCompleted
+		if i == n-1 {
+			// The job's fate shows on its final step.
+			switch j.state {
+			case slurm.StateFailed, slurm.StateOutOfMemory, slurm.StateNodeFail:
+				st = j.state
+			case slurm.StateTimeout, slurm.StateCancelled:
+				st = slurm.StateCancelled
+			}
+		}
+		steps = append(steps, mkStep(j.id.WithStep(int64(i)), cursor, end,
+			jobRec.NNodes, jobRec.NNodes*tasksPerNode, st, "block"))
+		cursor = end
+	}
+	return steps
+}
+
+// hash32 is a tiny FNV-1a for stable synthetic UIDs.
+func hash32(s string) int64 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return int64(h)
+}

@@ -1,0 +1,778 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"slurmsight/internal/slurm"
+	"slurmsight/internal/tracegen"
+)
+
+// job is the simulator's view of one submission.
+type job struct {
+	seq      int64 // submission order, tie-breaker and id basis
+	id       slurm.JobID
+	req      tracegen.Request
+	cores    int // allocation size in cores (the scheduling unit)
+	priority int64
+	cancelAt time.Time // zero when no planned cancel
+	gen      int64     // bumped on preemption to invalidate stale end events
+
+	started  bool
+	finished bool
+	held     bool // waiting on a dependency
+	start    time.Time
+	end      time.Time
+	eligible time.Time
+	state    slurm.State
+	backfill bool
+	restarts int64
+	lost     time.Duration // runtime discarded by preemptions
+	reason   string
+
+	depPred    *job   // afterok predecessor
+	dependents []*job // jobs held on this one
+	res        *resPool
+}
+
+// qosOf looks up a job's QoS definition (zero value when undefined).
+func (s *Simulator) qosOf(j *job) (q struct {
+	canPreempt  bool
+	preemptible bool
+}) {
+	if def, ok := s.cfg.System.QOSByName(j.req.QOS); ok {
+		q.canPreempt = def.CanPreempt
+		q.preemptible = def.Preemptible
+	}
+	return q
+}
+
+// nodeEquivalents converts a job's core allocation into fractional nodes
+// for capacity accounting; whole-node jobs come out at their node count.
+func (s *Simulator) nodeEquivalents(j *job) float64 {
+	return float64(j.cores) / float64(s.cfg.System.CoresPerNode)
+}
+
+// resPool tracks one advance reservation's carved capacity.
+type resPool struct {
+	def    Reservation
+	active bool
+	free   int // currently free carved cores
+	carved int // cores carved out of the general pool so far
+}
+
+// Event kinds. At equal timestamps, cancellations of pending jobs beat
+// everything, node releases precede submissions and reservation
+// transitions, and the window-start carve runs last so it sees every node
+// freed at that instant. The scheduling pass runs after the whole
+// timestamp drains.
+const (
+	evCancel = iota
+	evEnd
+	evSubmit
+	evResEnd
+	evResStart
+)
+
+type event struct {
+	t    time.Time
+	kind int
+	j    *job
+	res  *resPool
+	gen  int64
+	seq  int64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].t.Equal(h[j].t) {
+		return h[i].t.Before(h[j].t)
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// userUsage tracks exponentially decayed node-seconds per user for the
+// fair-share factor.
+type userUsage struct {
+	value float64
+	asOf  time.Time
+}
+
+// Simulator executes submissions against a cluster model.
+type Simulator struct {
+	cfg       Config
+	freeCores int
+	pending   []*job
+	running   []*job
+	usage     map[string]*userUsage
+	events    eventHeap
+	seq       int64
+	now       time.Time
+	stats     RunStats
+	resPools  []*resPool
+	resByName map[string]*resPool
+}
+
+// New builds a simulator; the configuration is validated.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:       cfg,
+		freeCores: int(cfg.System.TotalCores()),
+		usage:     map[string]*userUsage{},
+		resByName: map[string]*resPool{},
+	}
+	for _, def := range cfg.Reservations {
+		rp := &resPool{def: def}
+		s.resPools = append(s.resPools, rp)
+		s.resByName[def.Name] = rp
+	}
+	return s, nil
+}
+
+// Result is the outcome of a simulation run: job-level accounting records,
+// optional step-level records, per-job planned step counts, and aggregate
+// statistics.
+type Result struct {
+	Jobs        []slurm.Record
+	Steps       []slurm.Record
+	StepsPerJob []int // aligned with Jobs; planned srun steps per job
+	Stats       RunStats
+}
+
+// Options tune what a run materializes.
+type Options struct {
+	// EmitSteps materializes step records (batch, extern, and numbered
+	// srun steps). Disable for very large runs where only job-level
+	// analytics are needed; StepsPerJob is always populated.
+	EmitSteps bool
+}
+
+// chainKey identifies a dependency chain position.
+type chainKey struct {
+	chain int64
+	pos   int
+}
+
+// Run executes the submissions and returns the accounting trace. The
+// requests may arrive in any order; they are processed by submit time.
+func (s *Simulator) Run(reqs []tracegen.Request, opts Options) (*Result, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("sched: no requests")
+	}
+	jobs := make([]*job, len(reqs))
+	arrayBase := map[int64]int64{} // tracegen array group → base job id
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return reqs[order[a]].Submit.Before(reqs[order[b]].Submit)
+	})
+	const firstID = 100000
+	byChain := map[chainKey]*job{}
+	for n, idx := range order {
+		r := reqs[idx]
+		if r.Nodes <= 0 || r.Nodes > s.cfg.System.Nodes {
+			return nil, fmt.Errorf("sched: request %d wants %d nodes of %d", idx, r.Nodes, s.cfg.System.Nodes)
+		}
+		if r.Timelimit <= 0 {
+			return nil, fmt.Errorf("sched: request %d has no timelimit", idx)
+		}
+		cores := r.Nodes * s.cfg.System.CoresPerNode
+		if r.Cores > 0 {
+			if r.Nodes != 1 {
+				return nil, fmt.Errorf("sched: request %d mixes a multi-node allocation with a core count", idx)
+			}
+			if r.Cores > s.cfg.System.CoresPerNode {
+				return nil, fmt.Errorf("sched: request %d wants %d cores of a %d-core node", idx, r.Cores, s.cfg.System.CoresPerNode)
+			}
+			if s.cfg.EnableNodeSharing {
+				cores = r.Cores
+			}
+			// Without node sharing, a sub-node request occupies the
+			// whole node (cores already equals one node's worth).
+		}
+		j := &job{seq: int64(n), req: r, cores: cores, state: slurm.StatePending, eligible: r.Submit}
+		jobID := int64(firstID + n)
+		j.id = slurm.NewJobID(jobID)
+		if r.ArrayID != 0 {
+			if _, ok := arrayBase[r.ArrayID]; !ok {
+				arrayBase[r.ArrayID] = jobID
+			}
+			j.id.Array = int64(r.ArrayIndex)
+		}
+		if r.CancelAfter > 0 {
+			j.cancelAt = r.Submit.Add(r.CancelAfter)
+		}
+		if r.Reservation != "" {
+			rp, ok := s.resByName[r.Reservation]
+			if !ok {
+				return nil, fmt.Errorf("sched: request %d names unknown reservation %q", idx, r.Reservation)
+			}
+			if r.Nodes > rp.def.Nodes {
+				return nil, fmt.Errorf("sched: request %d exceeds reservation %q capacity", idx, r.Reservation)
+			}
+			j.res = rp
+		}
+		if r.Chain != 0 {
+			byChain[chainKey{r.Chain, r.ChainPos}] = j
+		}
+		jobs[n] = j
+		heap.Push(&s.events, event{t: r.Submit, kind: evSubmit, j: j, seq: s.nextSeq()})
+		if !j.cancelAt.IsZero() {
+			heap.Push(&s.events, event{t: j.cancelAt, kind: evCancel, j: j, seq: s.nextSeq()})
+		}
+	}
+	// Wire dependency chains: each position waits on the previous one.
+	for key, j := range byChain {
+		if key.pos == 0 {
+			continue
+		}
+		pred, ok := byChain[chainKey{key.chain, key.pos - 1}]
+		if !ok {
+			return nil, fmt.Errorf("sched: chain %d missing position %d", key.chain, key.pos-1)
+		}
+		j.depPred = pred
+		pred.dependents = append(pred.dependents, j)
+	}
+	for _, rp := range s.resPools {
+		heap.Push(&s.events, event{t: rp.def.Start, kind: evResStart, res: rp, seq: s.nextSeq()})
+		heap.Push(&s.events, event{t: rp.def.End, kind: evResEnd, res: rp, seq: s.nextSeq()})
+	}
+
+	first := jobs[0].req.Submit
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(event)
+		t := e.t
+		s.now = t
+		s.handle(e)
+		// Drain every event at this instant before scheduling.
+		for len(s.events) > 0 && s.events[0].t.Equal(t) {
+			s.handle(heap.Pop(&s.events).(event))
+		}
+		s.schedule(t)
+	}
+
+	// Anything still pending at drain time never had resources; that
+	// cannot happen with a consistent request stream, but guard anyway.
+	var last time.Time
+	for _, j := range s.pending {
+		j.finished = true
+		j.state = slurm.StateCancelled
+		j.end = s.now
+		s.stats.JobsCancelled++
+		s.stats.NeverStarted++
+	}
+	s.pending = nil
+	// Held jobs whose predecessors never resolved are likewise cancelled.
+	for _, j := range jobs {
+		if !j.finished && j.held {
+			j.finished = true
+			j.state = slurm.StateCancelled
+			j.end = s.now
+			j.reason = "DependencyNeverSatisfied"
+			s.stats.JobsCancelled++
+			s.stats.NeverStarted++
+		}
+	}
+
+	// The trace span runs from first submission to the last job activity;
+	// no-op cancel events beyond it do not count.
+	last = first
+	for _, j := range jobs {
+		if j.end.After(last) {
+			last = j.end
+		}
+	}
+	s.stats.NodeSecondsCap = float64(s.cfg.System.Nodes) * last.Sub(first).Seconds()
+
+	return s.buildResult(jobs, arrayBase, opts)
+}
+
+func (s *Simulator) nextSeq() int64 { s.seq++; return s.seq }
+
+func (s *Simulator) handle(e event) {
+	switch e.kind {
+	case evSubmit:
+		j := e.j
+		if j.finished {
+			return // cancelled at the same instant
+		}
+		if j.depPred != nil && !j.depPred.finished {
+			j.held = true
+			return
+		}
+		if j.depPred != nil && j.depPred.state != slurm.StateCompleted {
+			s.cancelForDependency(j, e.t)
+			return
+		}
+		s.pending = append(s.pending, j)
+	case evCancel:
+		j := e.j
+		if j.started || j.finished {
+			return // started jobs carry the cancel in their end event
+		}
+		j.finished = true
+		j.state = slurm.StateCancelled
+		j.end = e.t
+		s.stats.JobsCancelled++
+		s.stats.NeverStarted++
+		if !j.held {
+			s.removePending(j)
+		}
+		// Dependents of a cancelled job never run.
+		for _, d := range j.dependents {
+			s.cancelForDependency(d, e.t)
+		}
+	case evEnd:
+		j := e.j
+		if j.finished || e.gen != j.gen || !j.started {
+			return // stale event from before a preemption
+		}
+		j.finished = true
+		s.releaseNodes(j)
+		s.removeRunning(j)
+		s.accrueUsage(j)
+		s.countOutcome(j)
+		s.resolveDependents(j, e.t)
+	case evResStart:
+		rp := e.res
+		rp.active = true
+		s.refillReservations()
+	case evResEnd:
+		rp := e.res
+		rp.active = false
+		s.freeCores += rp.free
+		rp.free, rp.carved = 0, 0
+		// Pending jobs that targeted the window fall back to the general
+		// pool.
+		for _, j := range s.pending {
+			if j.res == rp {
+				j.res = nil
+			}
+		}
+	}
+}
+
+// releaseNodes returns a finished job's nodes to its pool.
+func (s *Simulator) releaseNodes(j *job) {
+	if j.res != nil && j.res.active {
+		j.res.free += j.cores
+		return
+	}
+	s.freeCores += j.cores
+	s.refillReservations()
+}
+
+// refillReservations tops up active reservations from the general pool,
+// modelling the drain into a reservation as nodes free up.
+func (s *Simulator) refillReservations() {
+	for _, rp := range s.resPools {
+		target := rp.def.Nodes * s.cfg.System.CoresPerNode
+		if !rp.active || rp.carved >= target {
+			continue
+		}
+		take := target - rp.carved
+		if take > s.freeCores {
+			take = s.freeCores
+		}
+		if take <= 0 {
+			continue
+		}
+		s.freeCores -= take
+		rp.carved += take
+		rp.free += take
+	}
+}
+
+// resolveDependents releases or cancels the jobs held on j.
+func (s *Simulator) resolveDependents(j *job, t time.Time) {
+	for _, d := range j.dependents {
+		if d.finished {
+			continue
+		}
+		if j.state == slurm.StateCompleted {
+			if d.held {
+				d.held = false
+				d.eligible = t
+				s.pending = append(s.pending, d)
+			}
+			continue
+		}
+		s.cancelForDependency(d, t)
+	}
+}
+
+// cancelForDependency terminally cancels a job whose upstream failed, and
+// cascades to its own dependents.
+func (s *Simulator) cancelForDependency(j *job, t time.Time) {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	j.held = false
+	j.state = slurm.StateCancelled
+	j.reason = "DependencyNeverSatisfied"
+	j.end = t
+	s.stats.JobsCancelled++
+	s.stats.NeverStarted++
+	s.stats.DependencyCancelled++
+	for _, d := range j.dependents {
+		s.cancelForDependency(d, t)
+	}
+}
+
+func (s *Simulator) removePending(j *job) {
+	for i, p := range s.pending {
+		if p == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Simulator) removeRunning(j *job) {
+	for i, p := range s.running {
+		if p == j {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Simulator) countOutcome(j *job) {
+	elapsed := j.end.Sub(j.start)
+	s.stats.NodeSecondsBusy += s.nodeEquivalents(j) * elapsed.Seconds()
+	wait := j.start.Sub(j.req.Submit)
+	s.stats.TotalWait += wait
+	if wait > s.stats.MaxWait {
+		s.stats.MaxWait = wait
+	}
+	switch j.state {
+	case slurm.StateCompleted:
+		s.stats.JobsCompleted++
+	case slurm.StateFailed:
+		s.stats.JobsFailed++
+	case slurm.StateCancelled:
+		s.stats.JobsCancelled++
+	case slurm.StateTimeout:
+		s.stats.JobsTimeout++
+	case slurm.StateNodeFail:
+		s.stats.JobsNodeFail++
+	case slurm.StateOutOfMemory:
+		s.stats.JobsOOM++
+	}
+	if j.backfill {
+		s.stats.Backfilled++
+	}
+}
+
+// decayedUsage returns the user's usage decayed to time t.
+func (s *Simulator) decayedUsage(user string, t time.Time) float64 {
+	u, ok := s.usage[user]
+	if !ok {
+		return 0
+	}
+	dt := t.Sub(u.asOf)
+	if dt <= 0 {
+		return u.value
+	}
+	halves := float64(dt) / float64(s.cfg.FairShareHalfLife)
+	u.value *= math.Exp2(-halves)
+	u.asOf = t
+	return u.value
+}
+
+func (s *Simulator) accrueUsage(j *job) {
+	u, ok := s.usage[j.req.User]
+	if !ok {
+		u = &userUsage{asOf: j.end}
+		s.usage[j.req.User] = u
+	}
+	s.decayedUsage(j.req.User, j.end)
+	u.value += s.nodeEquivalents(j) * j.end.Sub(j.start).Seconds()
+}
+
+// priorityAt computes the multifactor priority for a pending job. Age
+// accrues from eligibility (held dependents only age once released).
+func (s *Simulator) priorityAt(j *job, t time.Time) int64 {
+	cfg := &s.cfg
+	age := t.Sub(j.eligible)
+	agef := float64(age) / float64(cfg.AgeMax)
+	if agef > 1 {
+		agef = 1
+	}
+	if agef < 0 {
+		agef = 0
+	}
+	sizef := float64(j.cores) / float64(cfg.System.TotalCores())
+	// Nominal share: 1/64th of the machine over one half-life.
+	share := float64(cfg.System.Nodes) * cfg.FairShareHalfLife.Seconds() / 64
+	fairf := math.Exp2(-s.decayedUsage(j.req.User, t) / share)
+	var qosW int64
+	if q, ok := cfg.System.QOSByName(j.req.QOS); ok {
+		qosW = q.PriorityWeight
+	}
+	return cfg.Base +
+		int64(float64(cfg.AgeWeight)*agef) +
+		int64(float64(cfg.SizeWeight)*sizef) +
+		int64(float64(cfg.FairShareWeight)*fairf) +
+		qosW
+}
+
+// schedule runs the reservation pass, the main priority loop (with urgent
+// preemption), and the EASY backfill pass at time t.
+func (s *Simulator) schedule(t time.Time) {
+	if len(s.pending) == 0 {
+		return
+	}
+	for _, j := range s.pending {
+		j.priority = s.priorityAt(j, t)
+	}
+	sort.SliceStable(s.pending, func(a, b int) bool {
+		pa, pb := s.pending[a], s.pending[b]
+		if pa.priority != pb.priority {
+			return pa.priority > pb.priority
+		}
+		return pa.seq < pb.seq
+	})
+
+	// Reservation pass: tagged jobs draw from their carved pool and never
+	// block the general head.
+	kept := s.pending[:0]
+	for _, j := range s.pending {
+		if j.res != nil && s.canStartInReservation(j, t) {
+			s.startJob(j, t, false)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.pending = kept
+
+	// Main loop: start in priority order until the head does not fit.
+	// Reservation-tagged jobs wait for their window without blocking.
+	var head *job
+	i := 0
+	for i < len(s.pending) {
+		j := s.pending[i]
+		if j.res != nil {
+			i++
+			continue
+		}
+		if j.cores <= s.freeCores {
+			s.startJob(j, t, false)
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			continue
+		}
+		// Urgent QoS may evict preemptible work instead of queueing.
+		if s.qosOf(j).canPreempt && s.tryPreempt(j, t) {
+			s.startJob(j, t, false)
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			continue
+		}
+		head = j
+		break
+	}
+	if head == nil || !s.cfg.EnableBackfill || len(s.pending) <= 1 {
+		return
+	}
+
+	// EASY backfill: find the shadow time at which the head can start,
+	// assuming running jobs end at their walltime limits, then start
+	// lower-priority jobs that cannot delay it.
+	shadow, extra := s.shadowTime(head, t)
+	free := s.freeCores
+	depth := s.cfg.BackfillDepth
+	if depth == 0 {
+		depth = len(s.pending)
+	}
+	kept = s.pending[:0]
+	considered := 0
+	for _, j := range s.pending {
+		if j == head || j.res != nil || j.cores > free || considered >= depth {
+			kept = append(kept, j)
+			if j != head && j.res == nil {
+				considered++
+			}
+			continue
+		}
+		considered++
+		endsBy := t.Add(j.req.Timelimit)
+		fitsExtra := j.cores <= extra
+		if !endsBy.After(shadow) || fitsExtra {
+			s.startJob(j, t, true)
+			free -= j.cores
+			if endsBy.After(shadow) && fitsExtra {
+				extra -= j.cores
+			}
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.pending = kept
+}
+
+// canStartInReservation reports whether a tagged job fits its window now.
+func (s *Simulator) canStartInReservation(j *job, t time.Time) bool {
+	rp := j.res
+	if !rp.active || j.cores > rp.free {
+		return false
+	}
+	return !t.Add(j.req.Timelimit).After(rp.def.End)
+}
+
+// tryPreempt evicts preemptible running jobs until the urgent job fits.
+// Victims are requeued from scratch (youngest first, minimising lost
+// work). Returns false — and evicts nothing — when even evicting every
+// candidate would not free enough nodes.
+func (s *Simulator) tryPreempt(urgent *job, t time.Time) bool {
+	needed := urgent.cores - s.freeCores
+	if needed <= 0 {
+		return true
+	}
+	var victims []*job
+	for _, j := range s.running {
+		if j.res == nil && s.qosOf(j).preemptible {
+			victims = append(victims, j)
+		}
+	}
+	sort.Slice(victims, func(a, b int) bool { return victims[a].start.After(victims[b].start) })
+	freed := 0
+	cut := 0
+	for _, v := range victims {
+		if freed >= needed {
+			break
+		}
+		freed += v.cores
+		cut++
+	}
+	if freed < needed {
+		return false
+	}
+	for _, v := range victims[:cut] {
+		s.evict(v, t)
+	}
+	return true
+}
+
+// evict requeues a running preemptible job.
+func (s *Simulator) evict(v *job, t time.Time) {
+	v.gen++ // invalidate the scheduled end event
+	s.freeCores += v.cores
+	s.removeRunning(v)
+	ran := t.Sub(v.start)
+	v.lost += ran
+	v.restarts++
+	v.started = false
+	v.backfill = false
+	v.state = slurm.StatePending
+	v.eligible = t
+	v.reason = "Preempted"
+	s.pending = append(s.pending, v)
+	s.stats.Preemptions++
+	s.stats.PreemptedLost += ran
+	// The partial run still consumed the machine.
+	s.stats.NodeSecondsBusy += s.nodeEquivalents(v) * ran.Seconds()
+}
+
+// shadowTime computes when the head job could start if running jobs end
+// at their limits, and how many nodes beyond the head's need will be free
+// then. Reservation-pool jobs are excluded: their nodes return to the
+// reservation, not the general pool.
+func (s *Simulator) shadowTime(head *job, t time.Time) (time.Time, int) {
+	type rel struct {
+		at    time.Time
+		nodes int
+	}
+	rels := make([]rel, 0, len(s.running))
+	for _, j := range s.running {
+		if j.res != nil {
+			continue
+		}
+		limitEnd := j.start.Add(j.req.Timelimit)
+		if limitEnd.Before(t) {
+			limitEnd = t
+		}
+		rels = append(rels, rel{at: limitEnd, nodes: j.cores})
+	}
+	sort.Slice(rels, func(a, b int) bool { return rels[a].at.Before(rels[b].at) })
+	free := s.freeCores
+	for _, r := range rels {
+		free += r.nodes
+		if free >= head.cores {
+			return r.at, free - head.cores
+		}
+	}
+	// Head can never start under current limits (should not happen when
+	// requests respect the system size); treat as unbounded shadow.
+	return t.Add(1000000 * time.Hour), int(s.cfg.System.TotalCores())
+}
+
+// startJob dispatches a job at time t and schedules its end event.
+func (s *Simulator) startJob(j *job, t time.Time, backfill bool) {
+	j.started = true
+	j.backfill = backfill
+	j.start = t
+	j.priority = s.priorityAt(j, t)
+	if j.res != nil && j.res.active {
+		j.res.free -= j.cores
+		s.stats.ReservationStarts++
+	} else {
+		j.res = nil // window closed between sort and start
+		s.freeCores -= j.cores
+	}
+	s.running = append(s.running, j)
+
+	end, state := s.terminalOutcome(j, t)
+	j.end, j.state = end, state
+	heap.Push(&s.events, event{t: end, kind: evEnd, j: j, gen: j.gen, seq: s.nextSeq()})
+}
+
+// terminalOutcome resolves when and how a started job ends.
+func (s *Simulator) terminalOutcome(j *job, start time.Time) (time.Time, slurm.State) {
+	r := &j.req
+	run := r.TrueRuntime
+	state := r.Outcome
+	switch r.Outcome {
+	case slurm.StateFailed, slurm.StateNodeFail, slurm.StateOutOfMemory:
+		run = time.Duration(float64(r.TrueRuntime) * r.FailFrac)
+		if run < time.Second {
+			run = time.Second
+		}
+	case slurm.StateCancelled:
+		// Resolved against cancelAt below; if the cancel moment never
+		// arrives inside the run window the job completes instead.
+		state = slurm.StateCompleted
+	case slurm.StateTimeout:
+		// Enforced by the limit check below.
+		state = slurm.StateCompleted
+	}
+	end := start.Add(run)
+	if limitEnd := start.Add(r.Timelimit); end.After(limitEnd) {
+		end, state = limitEnd, slurm.StateTimeout
+	}
+	if !j.cancelAt.IsZero() && j.cancelAt.After(start) && j.cancelAt.Before(end) {
+		end, state = j.cancelAt, slurm.StateCancelled
+	}
+	return end, state
+}

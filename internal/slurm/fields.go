@@ -1,0 +1,397 @@
+package slurm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Category groups accounting fields the way Table 1 of the paper does.
+type Category string
+
+// The nine Table 1 categories, plus the bucket for the fields the study
+// excluded as redundant, sensitive, or uninformative.
+const (
+	CatIdentification Category = "Job Identification"
+	CatTiming         Category = "Timing Information"
+	CatRequests       Category = "Resource Requests"
+	CatUsage          Category = "Resource Usage"
+	CatIO             Category = "IO Related"
+	CatState          Category = "Job State"
+	CatScheduling     Category = "Scheduling Metadata"
+	CatSpecial        Category = "Special Indicators"
+	CatMisc           Category = "Misc"
+	CatExcluded       Category = "Excluded"
+)
+
+// Categories returns the selected categories in Table 1 order.
+func Categories() []Category {
+	return []Category{
+		CatIdentification, CatTiming, CatRequests, CatUsage, CatIO,
+		CatState, CatScheduling, CatSpecial, CatMisc,
+	}
+}
+
+// Field describes one accounting column: its Table 1 category and the
+// accessors that render and parse its text form in sacct output.
+type Field struct {
+	Name     string
+	Category Category
+	Doc      string
+	Get      func(*Record) string
+	Set      func(*Record, string) error
+}
+
+func intField(get func(*Record) int64, set func(*Record, int64)) (func(*Record) string, func(*Record, string) error) {
+	return func(r *Record) string { return strconv.FormatInt(get(r), 10) },
+		func(r *Record, s string) error {
+			n, err := ParseCount(s)
+			if err != nil {
+				return err
+			}
+			set(r, n)
+			return nil
+		}
+}
+
+func strField(get func(*Record) string, set func(*Record, string)) (func(*Record) string, func(*Record, string) error) {
+	return get, func(r *Record, s string) error { set(r, s); return nil }
+}
+
+func timeField(get func(*Record) string, set func(*Record, string) error) (func(*Record) string, func(*Record, string) error) {
+	return get, set
+}
+
+// catalogue is the ordered Table 1 selection. Built once at init.
+var catalogue []Field
+
+// fieldIndex maps lower-cased field names to catalogue entries.
+var fieldIndex map[string]*Field
+
+func addField(f Field) {
+	catalogue = append(catalogue, f)
+}
+
+func init() {
+	defineFields()
+	fieldIndex = make(map[string]*Field, len(catalogue))
+	for i := range catalogue {
+		fieldIndex[strings.ToLower(catalogue[i].Name)] = &catalogue[i]
+	}
+}
+
+func defineFields() {
+	// --- Job Identification ---
+	addField(Field{Name: "JobID", Category: CatIdentification,
+		Doc: "job, array-task, or step identifier",
+		Get: func(r *Record) string { return r.ID.String() },
+		Set: func(r *Record, s string) error {
+			id, err := ParseJobID(s)
+			if err != nil {
+				return err
+			}
+			r.ID = id
+			return nil
+		}})
+	g, s := strField(func(r *Record) string { return r.JobName }, func(r *Record, v string) { r.JobName = v })
+	addField(Field{Name: "JobName", Category: CatIdentification, Doc: "user-supplied job name", Get: g, Set: s})
+	g, s = strField(func(r *Record) string { return r.User }, func(r *Record, v string) { r.User = v })
+	addField(Field{Name: "User", Category: CatIdentification, Doc: "submitting user", Get: g, Set: s})
+	gi, si := intField(func(r *Record) int64 { return r.UID }, func(r *Record, v int64) { r.UID = v })
+	addField(Field{Name: "UID", Category: CatIdentification, Doc: "submitting user id", Get: gi, Set: si})
+	g, s = strField(func(r *Record) string { return r.Group }, func(r *Record, v string) { r.Group = v })
+	addField(Field{Name: "Group", Category: CatIdentification, Doc: "submitting group", Get: g, Set: s})
+	g, s = strField(func(r *Record) string { return r.Account }, func(r *Record, v string) { r.Account = v })
+	addField(Field{Name: "Account", Category: CatIdentification, Doc: "charge account (project)", Get: g, Set: s})
+	g, s = strField(func(r *Record) string { return r.Cluster }, func(r *Record, v string) { r.Cluster = v })
+	addField(Field{Name: "Cluster", Category: CatIdentification, Doc: "cluster name", Get: g, Set: s})
+	g, s = strField(func(r *Record) string { return r.Partition }, func(r *Record, v string) { r.Partition = v })
+	addField(Field{Name: "Partition", Category: CatIdentification, Doc: "partition the job ran in", Get: g, Set: s})
+	g, s = strField(func(r *Record) string { return r.Reservation }, func(r *Record, v string) { r.Reservation = v })
+	addField(Field{Name: "Reservation", Category: CatIdentification, Doc: "advance reservation name", Get: g, Set: s})
+	gi, si = intField(func(r *Record) int64 { return r.ReservationID }, func(r *Record, v int64) { r.ReservationID = v })
+	addField(Field{Name: "ReservationID", Category: CatIdentification, Doc: "advance reservation id", Get: gi, Set: si})
+
+	// --- Timing Information ---
+	addTimestamp("Submit", CatTiming, "submission time",
+		func(r *Record) *timeRef { return (*timeRef)(&r.Submit) })
+	addTimestamp("Start", CatTiming, "dispatch time",
+		func(r *Record) *timeRef { return (*timeRef)(&r.Start) })
+	addTimestamp("End", CatTiming, "termination time",
+		func(r *Record) *timeRef { return (*timeRef)(&r.End) })
+	addDuration("Elapsed", CatTiming, "wall-clock runtime",
+		func(r *Record) *durRef { return (*durRef)(&r.Elapsed) })
+	addDuration("Timelimit", CatTiming, "requested walltime limit",
+		func(r *Record) *durRef { return (*durRef)(&r.Timelimit) })
+
+	// --- Resource Requests ---
+	gi, si = intField(func(r *Record) int64 { return r.NNodes }, func(r *Record, v int64) { r.NNodes = v })
+	addField(Field{Name: "NNodes", Category: CatRequests, Doc: "allocated node count", Get: gi, Set: si})
+	gi, si = intField(func(r *Record) int64 { return r.NCPUs }, func(r *Record, v int64) { r.NCPUs = v })
+	addField(Field{Name: "NCPUS", Category: CatRequests, Doc: "allocated CPU count", Get: gi, Set: si})
+	gi, si = intField(func(r *Record) int64 { return r.NTasks }, func(r *Record, v int64) { r.NTasks = v })
+	addField(Field{Name: "NTasks", Category: CatRequests, Doc: "task count (steps)", Get: gi, Set: si})
+	gi, si = intField(func(r *Record) int64 { return r.ReqNodes }, func(r *Record, v int64) { r.ReqNodes = v })
+	addField(Field{Name: "ReqNodes", Category: CatRequests, Doc: "requested node count", Get: gi, Set: si})
+	gi, si = intField(func(r *Record) int64 { return r.ReqCPUs }, func(r *Record, v int64) { r.ReqCPUs = v })
+	addField(Field{Name: "ReqCPUS", Category: CatRequests, Doc: "requested CPU count", Get: gi, Set: si})
+	addField(Field{Name: "ReqMem", Category: CatRequests, Doc: "requested memory",
+		Get: func(r *Record) string { return FormatMemory(r.ReqMem, r.ReqMemPerCPU) },
+		Set: func(r *Record, s string) error {
+			b, perCPU, err := ParseMemory(s)
+			if err != nil {
+				return err
+			}
+			r.ReqMem, r.ReqMemPerCPU = b, perCPU
+			return nil
+		}})
+	g, s = strField(func(r *Record) string { return r.ReqGRES }, func(r *Record, v string) { r.ReqGRES = v })
+	addField(Field{Name: "ReqGRES", Category: CatRequests, Doc: "requested generic resources (GPUs)", Get: g, Set: s})
+	g, s = strField(func(r *Record) string { return r.Licenses }, func(r *Record, v string) { r.Licenses = v })
+	addField(Field{Name: "Licenses", Category: CatRequests, Doc: "requested software licenses", Get: g, Set: s})
+	g, s = strField(func(r *Record) string { return r.Layout }, func(r *Record, v string) { r.Layout = v })
+	addField(Field{Name: "Layout", Category: CatRequests, Doc: "step task layout", Get: g, Set: s})
+
+	// --- Resource Usage ---
+	addBytes("VMSize", CatUsage, "virtual memory high-water mark",
+		func(r *Record) *int64 { return &r.VMSize })
+	addBytes("MaxVMSize", CatUsage, "maximum virtual memory of any task",
+		func(r *Record) *int64 { return &r.MaxVMSize })
+	addDuration("AveCPU", CatUsage, "average CPU time per task",
+		func(r *Record) *durRef { return (*durRef)(&r.AveCPU) })
+	addBytes("MaxRSS", CatUsage, "maximum resident set size",
+		func(r *Record) *int64 { return &r.MaxRSS })
+	addBytes("AveRSS", CatUsage, "average resident set size",
+		func(r *Record) *int64 { return &r.AveRSS })
+	gi, si = intField(func(r *Record) int64 { return r.AvePages }, func(r *Record, v int64) { r.AvePages = v })
+	addField(Field{Name: "AvePages", Category: CatUsage, Doc: "average page faults per task", Get: gi, Set: si})
+	addDuration("TotalCPU", CatUsage, "total consumed CPU time",
+		func(r *Record) *durRef { return (*durRef)(&r.TotalCPU) })
+	addDuration("UserCPU", CatUsage, "user-mode CPU time",
+		func(r *Record) *durRef { return (*durRef)(&r.UserCPU) })
+	addDuration("SystemCPU", CatUsage, "kernel-mode CPU time",
+		func(r *Record) *durRef { return (*durRef)(&r.SystemCPU) })
+	g, s = strField(func(r *Record) string { return r.NodeList }, func(r *Record, v string) { r.NodeList = v })
+	addField(Field{Name: "NodeList", Category: CatUsage, Doc: "allocated node list", Get: g, Set: s})
+	gi, si = intField(func(r *Record) int64 { return r.ConsumedEnergy }, func(r *Record, v int64) { r.ConsumedEnergy = v })
+	addField(Field{Name: "ConsumedEnergy", Category: CatUsage, Doc: "energy consumed (J)", Get: gi, Set: si})
+
+	// --- IO Related ---
+	g, s = strField(func(r *Record) string { return r.WorkDir }, func(r *Record, v string) { r.WorkDir = v })
+	addField(Field{Name: "WorkDir", Category: CatIO, Doc: "working directory", Get: g, Set: s})
+	addBytes("AveDiskRead", CatIO, "average bytes read per task", func(r *Record) *int64 { return &r.AveDiskRead })
+	addBytes("AveDiskWrite", CatIO, "average bytes written per task", func(r *Record) *int64 { return &r.AveDiskWrite })
+	addBytes("MaxDiskRead", CatIO, "maximum bytes read by a task", func(r *Record) *int64 { return &r.MaxDiskRead })
+	addBytes("MaxDiskWrite", CatIO, "maximum bytes written by a task", func(r *Record) *int64 { return &r.MaxDiskWrite })
+
+	// --- Job State ---
+	addField(Field{Name: "State", Category: CatState, Doc: "terminal job state",
+		Get: func(r *Record) string { return r.State.String() },
+		Set: func(r *Record, s string) error {
+			st, err := ParseState(s)
+			if err != nil {
+				return err
+			}
+			r.State = st
+			return nil
+		}})
+	addField(Field{Name: "ExitCode", Category: CatState, Doc: "exit:signal pair",
+		Get: func(r *Record) string { return FormatExitCode(r.ExitCode, r.ExitSignal) },
+		Set: func(r *Record, s string) error {
+			e, sig, err := ParseExitCode(s)
+			if err != nil {
+				return err
+			}
+			r.ExitCode, r.ExitSignal = e, sig
+			return nil
+		}})
+	g, s = strField(func(r *Record) string { return r.DerivedExitCode }, func(r *Record, v string) { r.DerivedExitCode = v })
+	addField(Field{Name: "DerivedExitCode", Category: CatState, Doc: "highest exit code of any step", Get: g, Set: s})
+	g, s = strField(func(r *Record) string { return r.Reason }, func(r *Record, v string) { r.Reason = v })
+	addField(Field{Name: "Reason", Category: CatState, Doc: "pending/termination reason", Get: g, Set: s})
+	addDuration("Suspended", CatState, "time spent suspended",
+		func(r *Record) *durRef { return (*durRef)(&r.Suspended) })
+	gi, si = intField(func(r *Record) int64 { return r.Restarts }, func(r *Record, v int64) { r.Restarts = v })
+	addField(Field{Name: "Restarts", Category: CatState, Doc: "requeue/restart count", Get: gi, Set: si})
+	g, s = strField(func(r *Record) string { return r.Constraints }, func(r *Record, v string) { r.Constraints = v })
+	addField(Field{Name: "Constraints", Category: CatState, Doc: "node feature constraints", Get: g, Set: s})
+
+	// --- Scheduling Metadata ---
+	gi, si = intField(func(r *Record) int64 { return r.Priority }, func(r *Record, v int64) { r.Priority = v })
+	addField(Field{Name: "Priority", Category: CatScheduling, Doc: "multifactor priority at dispatch", Get: gi, Set: si})
+	addTimestamp("Eligible", CatScheduling, "time the job became eligible to run",
+		func(r *Record) *timeRef { return (*timeRef)(&r.Eligible) })
+	g, s = strField(func(r *Record) string { return r.QOS }, func(r *Record, v string) { r.QOS = v })
+	addField(Field{Name: "QOS", Category: CatScheduling, Doc: "quality of service", Get: g, Set: s})
+	g, s = strField(func(r *Record) string { return r.QOSReq }, func(r *Record, v string) { r.QOSReq = v })
+	addField(Field{Name: "QOSReq", Category: CatScheduling, Doc: "requested quality of service", Get: g, Set: s})
+	addField(Field{Name: "Flags", Category: CatScheduling, Doc: "scheduler flags (SchedBackfill, SchedMain)",
+		Get: func(r *Record) string { return r.flagString() },
+		Set: func(r *Record, s string) error { r.setFlags(s); return nil }})
+	addField(Field{Name: "TRESUsageInAve", Category: CatScheduling, Doc: "average trackable-resource usage",
+		Get: func(r *Record) string { return r.TRESUsageInAve.String() },
+		Set: func(r *Record, s string) error {
+			t, err := ParseTRES(s)
+			if err != nil {
+				return err
+			}
+			r.TRESUsageInAve = t
+			return nil
+		}})
+	addField(Field{Name: "ReqTRES", Category: CatScheduling, Doc: "requested trackable resources",
+		Get: func(r *Record) string { return r.TRESReq.String() },
+		Set: func(r *Record, s string) error {
+			t, err := ParseTRES(s)
+			if err != nil {
+				return err
+			}
+			r.TRESReq = t
+			return nil
+		}})
+
+	// --- Special Indicators ---
+	addField(Field{Name: "Backfill", Category: CatSpecial,
+		Doc: "1 when the backfill scheduler started the job (derived from Flags)",
+		Get: func(r *Record) string {
+			if r.Backfilled() {
+				return "1"
+			}
+			return "0"
+		},
+		Set: func(r *Record, s string) error {
+			switch strings.TrimSpace(s) {
+			case "1", "true":
+				if !r.Backfilled() {
+					r.Flags = append(r.Flags, FlagBackfill)
+				}
+			case "0", "false", "":
+			default:
+				return fmt.Errorf("slurm: bad Backfill value %q", s)
+			}
+			return nil
+		}})
+	g, s = strField(func(r *Record) string { return r.Dependency }, func(r *Record, v string) { r.Dependency = v })
+	addField(Field{Name: "Dependency", Category: CatSpecial, Doc: "job dependency expression", Get: g, Set: s})
+	gi, si = intField(func(r *Record) int64 { return r.ArrayJobID }, func(r *Record, v int64) { r.ArrayJobID = v })
+	addField(Field{Name: "ArrayJobID", Category: CatSpecial, Doc: "parent array job id (0 when none)", Get: gi, Set: si})
+
+	// --- Misc ---
+	g, s = strField(func(r *Record) string { return r.Comment }, func(r *Record, v string) { r.Comment = v })
+	addField(Field{Name: "Comment", Category: CatMisc, Doc: "user comment", Get: g, Set: s})
+	g, s = strField(func(r *Record) string { return r.SystemComment }, func(r *Record, v string) { r.SystemComment = v })
+	addField(Field{Name: "SystemComment", Category: CatMisc, Doc: "system comment", Get: g, Set: s})
+	g, s = strField(func(r *Record) string { return r.AdminComment }, func(r *Record, v string) { r.AdminComment = v })
+	addField(Field{Name: "AdminComment", Category: CatMisc, Doc: "administrator comment", Get: g, Set: s})
+}
+
+// timeRef and durRef give the generic field adders addressable views of
+// Record members without one hand-written closure pair per field.
+type (
+	timeRef time.Time
+	durRef  time.Duration
+)
+
+func addTimestamp(name string, cat Category, doc string, ref func(*Record) *timeRef) {
+	addField(Field{Name: name, Category: cat, Doc: doc,
+		Get: func(r *Record) string { return FormatTime(time.Time(*ref(r))) },
+		Set: func(r *Record, s string) error {
+			t, err := ParseTime(s)
+			if err != nil {
+				return err
+			}
+			*ref(r) = timeRef(t)
+			return nil
+		}})
+}
+
+func addDuration(name string, cat Category, doc string, ref func(*Record) *durRef) {
+	addField(Field{Name: name, Category: cat, Doc: doc,
+		Get: func(r *Record) string { return FormatDuration(time.Duration(*ref(r))) },
+		Set: func(r *Record, s string) error {
+			d, err := ParseDuration(s)
+			if err != nil {
+				return err
+			}
+			*ref(r) = durRef(d)
+			return nil
+		}})
+}
+
+func addBytes(name string, cat Category, doc string, ref func(*Record) *int64) {
+	addField(Field{Name: name, Category: cat, Doc: doc,
+		Get: func(r *Record) string { return strings.TrimSuffix(FormatMemory(*ref(r), false), "n") },
+		Set: func(r *Record, s string) error {
+			b, _, err := ParseMemory(s)
+			if err != nil {
+				return err
+			}
+			*ref(r) = b
+			return nil
+		}})
+}
+
+// Catalogue returns the curated Table 1 field selection in canonical
+// order. The returned slice is a copy; the Field values share accessors.
+func Catalogue() []Field {
+	out := make([]Field, len(catalogue))
+	copy(out, catalogue)
+	return out
+}
+
+// FieldByName looks up a field case-insensitively.
+func FieldByName(name string) (Field, bool) {
+	f, ok := fieldIndex[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return Field{}, false
+	}
+	return *f, true
+}
+
+// SelectedNames returns the names of the curated field selection in order.
+func SelectedNames() []string {
+	out := make([]string, len(catalogue))
+	for i := range catalogue {
+		out[i] = catalogue[i].Name
+	}
+	return out
+}
+
+// FieldsInCategory returns the selected fields belonging to cat, in order.
+func FieldsInCategory(cat Category) []Field {
+	var out []Field
+	for _, f := range catalogue {
+		if f.Category == cat {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// excludedFields lists the remainder of the sacct field universe — columns
+// the study dropped as redundant (raw duplicates of formatted fields),
+// sensitive, or uninformative. Together with the catalogue they form the
+// 118-column universe Table 1 selects from.
+var excludedFields = []string{
+	"AllocCPUS", "AllocNodes", "AllocTRES", "AssocID", "AveCPUFreq",
+	"AveVMSize", "BlockID", "Container", "CPUTime", "CPUTimeRAW",
+	"DBIndex", "ElapsedRaw", "Extra", "FailedNode", "GID",
+	"JobIDRaw", "StdOut", "MaxDiskReadNode", "MaxDiskReadTask", "MaxDiskWriteNode",
+	"MaxDiskWriteTask", "MaxPages", "MaxPagesNode", "MaxPagesTask", "MaxRSSNode",
+	"MaxRSSTask", "MaxVMSizeNode", "MaxVMSizeTask", "McsLabel", "MinCPU",
+	"MinCPUNode", "MinCPUTask", "Planned", "PlannedCPU", "PlannedCPURAW",
+	"QOSRAW", "ReqCPUFreq", "ReqCPUFreqGov", "ReqCPUFreqMax", "ReqCPUFreqMin",
+	"Reserved", "ResvCPU", "ResvCPURAW", "SubmitLine", "TimelimitRaw",
+	"TRESUsageInMax", "TRESUsageInMaxNode", "TRESUsageInMaxTask", "TRESUsageInMin", "TRESUsageInMinNode",
+	"TRESUsageInMinTask", "TRESUsageInTot", "TRESUsageOutAve", "TRESUsageOutMax", "TRESUsageOutTot",
+	"WCKey", "WCKeyID", "ConsumedEnergyRaw",
+}
+
+// AllFieldNames returns the full accounting column universe: the curated
+// selection plus the excluded remainder.
+func AllFieldNames() []string {
+	out := make([]string, 0, len(catalogue)+len(excludedFields))
+	out = append(out, SelectedNames()...)
+	out = append(out, excludedFields...)
+	return out
+}

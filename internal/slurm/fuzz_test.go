@@ -1,0 +1,129 @@
+package slurm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDuration checks the duration parser never panics and that
+// every accepted value re-parses to the same duration after formatting.
+func FuzzParseDuration(f *testing.F) {
+	for _, seed := range []string{
+		"00:00:00", "1-02:03:04", "90", "05:30", "2-12", "UNLIMITED",
+		"", "x", "1:2:3:4", "-5", "999999999-00:00:00",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDuration(s)
+		if err != nil {
+			return
+		}
+		if d < 0 {
+			t.Fatalf("ParseDuration(%q) accepted a negative duration %v", s, d)
+		}
+		got, err := ParseDuration(FormatDuration(d))
+		if err != nil {
+			t.Fatalf("formatted duration %q does not re-parse: %v", FormatDuration(d), err)
+		}
+		if got != d {
+			t.Fatalf("round trip drift: %v → %q → %v", d, FormatDuration(d), got)
+		}
+	})
+}
+
+// FuzzParseJobID checks the job-id parser never panics and accepted ids
+// round-trip exactly.
+func FuzzParseJobID(f *testing.F) {
+	for _, seed := range []string{
+		"12345", "12345.batch", "12345.extern", "12345.0", "7_3", "7_3.2",
+		"", "abc", "1_", "_1", "1.", ".", "1_2_3", "1.x",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := ParseJobID(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseJobID(id.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", id.String(), err)
+		}
+		if back != id {
+			t.Fatalf("round trip drift: %q → %v → %v", s, id, back)
+		}
+	})
+}
+
+// FuzzParseMemory checks the memory parser never panics and stays
+// non-negative.
+func FuzzParseMemory(f *testing.F) {
+	for _, seed := range []string{"0", "4000M", "512Gn", "2Gc", "1.5K", "1T", "", "xyz", "9e99G"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		b, _, err := ParseMemory(s)
+		if err != nil {
+			return
+		}
+		if b < 0 {
+			t.Fatalf("ParseMemory(%q) = %d", s, b)
+		}
+	})
+}
+
+// FuzzDecodeRecord feeds arbitrary pipe rows through the full decoder: it
+// must reject or accept without panicking, and whatever it accepts must
+// re-encode to the identical row.
+func FuzzDecodeRecord(f *testing.F) {
+	fields := []string{"JobID", "User", "State", "Elapsed", "NNodes", "Submit", "Flags"}
+	f.Add("100001|alice|COMPLETED|01:30:00|128|2024-03-01T08:00:00|SchedBackfill")
+	f.Add("100002|bob|FAILED|00:10:00|9.4K|2024-03-01T09:00:00|")
+	f.Add("|||||")
+	f.Add("100003|x|NOT_A_STATE|x|x|x|x")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := DecodeRecord(line, fields)
+		if err != nil {
+			return
+		}
+		out, err := EncodeRecord(rec, fields)
+		if err != nil {
+			t.Fatalf("accepted row does not re-encode: %v", err)
+		}
+		// Re-decoding the canonical encoding must succeed and agree.
+		rec2, err := DecodeRecord(out, fields)
+		if err != nil {
+			t.Fatalf("canonical row %q rejected: %v", out, err)
+		}
+		if rec2.ID != rec.ID || rec2.State != rec.State || rec2.NNodes != rec.NNodes {
+			t.Fatalf("decode drift on %q", line)
+		}
+	})
+}
+
+// FuzzExpandNodeList checks the hostlist expander never panics and agrees
+// with the counter on accepted inputs.
+func FuzzExpandNodeList(f *testing.F) {
+	for _, seed := range []string{
+		"frontier[000001-000003]", "a01,b[02-03]", "n[5]", "", "a[1", "a[5-2]", "x[0-100000]",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if strings.Count(s, "-") > 4 || len(s) > 64 {
+			return // bound expansion size for fuzz throughput
+		}
+		names, err := ExpandNodeList(s)
+		if err != nil {
+			return
+		}
+		n, err := NodeListCount(s)
+		if err != nil {
+			t.Fatalf("expanded but not countable: %q (%v)", s, err)
+		}
+		if n != len(names) {
+			t.Fatalf("count mismatch on %q: %d vs %d", s, n, len(names))
+		}
+	})
+}

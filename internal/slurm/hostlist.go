@@ -1,0 +1,189 @@
+package slurm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpandNodeList expands a Slurm hostlist expression into individual node
+// names: "frontier[00001-00003,00007]" → frontier00001, frontier00002,
+// frontier00003, frontier00007. Top-level comma-separated groups are
+// supported ("a01,b[02-03]"), zero-padding is preserved.
+func ExpandNodeList(s string) ([]string, error) {
+	var out []string
+	for _, group := range splitTopLevel(strings.TrimSpace(s)) {
+		if group == "" {
+			continue
+		}
+		names, err := expandGroup(group)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, names...)
+	}
+	return out, nil
+}
+
+// NodeListCount returns the number of nodes a hostlist names without
+// materializing them.
+func NodeListCount(s string) (int, error) {
+	total := 0
+	for _, group := range splitTopLevel(strings.TrimSpace(s)) {
+		if group == "" {
+			continue
+		}
+		open := strings.IndexByte(group, '[')
+		if open < 0 {
+			total++
+			continue
+		}
+		close := strings.IndexByte(group, ']')
+		if close < open {
+			return 0, fmt.Errorf("slurm: malformed hostlist %q", group)
+		}
+		for _, r := range strings.Split(group[open+1:close], ",") {
+			lo, hi, _, err := parseRange(r)
+			if err != nil {
+				return 0, err
+			}
+			total += hi - lo + 1
+		}
+	}
+	return total, nil
+}
+
+// splitTopLevel splits on commas outside brackets.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func expandGroup(g string) ([]string, error) {
+	open := strings.IndexByte(g, '[')
+	if open < 0 {
+		if strings.ContainsAny(g, "[]") {
+			return nil, fmt.Errorf("slurm: malformed hostlist %q", g)
+		}
+		return []string{g}, nil
+	}
+	close := strings.IndexByte(g, ']')
+	if close < open || close != len(g)-1 {
+		return nil, fmt.Errorf("slurm: malformed hostlist %q", g)
+	}
+	prefix := g[:open]
+	var out []string
+	for _, r := range strings.Split(g[open+1:close], ",") {
+		lo, hi, width, err := parseRange(r)
+		if err != nil {
+			return nil, err
+		}
+		for n := lo; n <= hi; n++ {
+			out = append(out, fmt.Sprintf("%s%0*d", prefix, width, n))
+		}
+	}
+	return out, nil
+}
+
+// parseRange parses "00003" or "00001-00007", returning bounds and the
+// zero-padded width.
+func parseRange(r string) (lo, hi, width int, err error) {
+	r = strings.TrimSpace(r)
+	if r == "" {
+		return 0, 0, 0, fmt.Errorf("slurm: empty hostlist range")
+	}
+	parts := strings.SplitN(r, "-", 2)
+	lo, err = strconv.Atoi(parts[0])
+	if err != nil || lo < 0 {
+		return 0, 0, 0, fmt.Errorf("slurm: bad hostlist range %q", r)
+	}
+	width = len(parts[0])
+	hi = lo
+	if len(parts) == 2 {
+		hi, err = strconv.Atoi(parts[1])
+		if err != nil || hi < lo {
+			return 0, 0, 0, fmt.Errorf("slurm: bad hostlist range %q", r)
+		}
+	}
+	return lo, hi, width, nil
+}
+
+// CompressNodeList renders node names in Slurm's compact hostlist form,
+// grouping consecutive indices per prefix: frontier00001..3 + frontier00007
+// → "frontier[00001-00003,00007]". Names without a numeric suffix pass
+// through. The output groups are ordered by prefix.
+func CompressNodeList(names []string) string {
+	type node struct {
+		idx   int
+		width int
+	}
+	byPrefix := map[string][]node{}
+	var plain []string
+	var prefixOrder []string
+	seenPrefix := map[string]bool{}
+	for _, name := range names {
+		i := len(name)
+		for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+			i--
+		}
+		if i == len(name) {
+			plain = append(plain, name)
+			continue
+		}
+		prefix, digits := name[:i], name[i:]
+		n, err := strconv.Atoi(digits)
+		if err != nil {
+			plain = append(plain, name)
+			continue
+		}
+		if !seenPrefix[prefix] {
+			seenPrefix[prefix] = true
+			prefixOrder = append(prefixOrder, prefix)
+		}
+		byPrefix[prefix] = append(byPrefix[prefix], node{idx: n, width: len(digits)})
+	}
+	sort.Strings(prefixOrder)
+	var groups []string
+	groups = append(groups, plain...)
+	for _, prefix := range prefixOrder {
+		nodes := byPrefix[prefix]
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a].idx < nodes[b].idx })
+		var ranges []string
+		for i := 0; i < len(nodes); {
+			j := i
+			for j+1 < len(nodes) && nodes[j+1].idx == nodes[j].idx+1 && nodes[j+1].width == nodes[i].width {
+				j++
+			}
+			if i == j {
+				ranges = append(ranges, fmt.Sprintf("%0*d", nodes[i].width, nodes[i].idx))
+			} else {
+				ranges = append(ranges, fmt.Sprintf("%0*d-%0*d",
+					nodes[i].width, nodes[i].idx, nodes[j].width, nodes[j].idx))
+			}
+			i = j + 1
+		}
+		if len(ranges) == 1 && !strings.Contains(ranges[0], "-") {
+			groups = append(groups, prefix+ranges[0])
+			continue
+		}
+		groups = append(groups, prefix+"["+strings.Join(ranges, ",")+"]")
+	}
+	sort.Strings(groups[:len(plain)])
+	return strings.Join(groups, ",")
+}

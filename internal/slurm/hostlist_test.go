@@ -1,0 +1,131 @@
+package slurm
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpandNodeList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"frontier000001", []string{"frontier000001"}},
+		{"frontier[000001-000003]", []string{"frontier000001", "frontier000002", "frontier000003"}},
+		{"frontier[000001-000002,000007]", []string{"frontier000001", "frontier000002", "frontier000007"}},
+		{"a01,b[02-03]", []string{"a01", "b02", "b03"}},
+		{"login1", []string{"login1"}},
+		{"n[5]", []string{"n5"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got, err := ExpandNodeList(c.in)
+		if err != nil {
+			t.Errorf("ExpandNodeList(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ExpandNodeList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"a[1", "a]1[", "a[x-y]", "a[5-2]", "a[]"} {
+		if _, err := ExpandNodeList(in); err == nil {
+			t.Errorf("ExpandNodeList(%q): want error", in)
+		}
+	}
+}
+
+func TestNodeListCount(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"frontier[000000-009407]", 9408},
+		{"a01,b[02-03],c", 4},
+		{"x", 1},
+		{"", 0},
+	}
+	for _, c := range cases {
+		got, err := NodeListCount(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("NodeListCount(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	if _, err := NodeListCount("a]b["); err == nil {
+		t.Error("malformed count: want error")
+	}
+}
+
+func TestCompressNodeList(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want string
+	}{
+		{[]string{"frontier000001", "frontier000002", "frontier000003"}, "frontier[000001-000003]"},
+		{[]string{"frontier000001", "frontier000003"}, "frontier[000001,000003]"},
+		{[]string{"a01", "b02", "b03"}, "a01,b[02-03]"},
+		{[]string{"login"}, "login"},
+		{[]string{"n5"}, "n5"},
+	}
+	for _, c := range cases {
+		if got := CompressNodeList(c.in); got != c.want {
+			t.Errorf("CompressNodeList(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Compression and expansion are inverse up to ordering.
+func TestHostlistRoundTripProperty(t *testing.T) {
+	f := func(start uint8, count uint8) bool {
+		n := int(count)%50 + 1
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = CompressNodeList([]string{nodeName("nid", int(start)+i*2, 6)})
+		}
+		compressed := CompressNodeList(names)
+		expanded, err := ExpandNodeList(compressed)
+		if err != nil {
+			return false
+		}
+		if len(expanded) != n {
+			return false
+		}
+		for i := range names {
+			if expanded[i] != names[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func nodeName(prefix string, idx, width int) string {
+	s := prefix
+	digits := make([]byte, width)
+	for i := width - 1; i >= 0; i-- {
+		digits[i] = byte('0' + idx%10)
+		idx /= 10
+	}
+	return s + string(digits)
+}
+
+func TestSimulatorNodeListsRoundTrip(t *testing.T) {
+	// The synthetic NodeList the simulator emits must parse back to the
+	// allocation size.
+	for _, c := range []struct {
+		list string
+		want int
+	}{
+		{"frontier[000000-000127]", 128},
+		{"frontier000000", 1},
+	} {
+		got, err := NodeListCount(c.list)
+		if err != nil || got != c.want {
+			t.Errorf("NodeListCount(%q) = %d, %v", c.list, got, err)
+		}
+	}
+}

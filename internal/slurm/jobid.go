@@ -1,0 +1,140 @@
+package slurm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// StepKind distinguishes the pseudo-steps Slurm creates for every job from
+// the numbered steps launched by srun.
+type StepKind int
+
+const (
+	// StepJob marks the job-level record itself ("12345").
+	StepJob StepKind = iota
+	// StepBatch marks the batch script pseudo-step ("12345.batch").
+	StepBatch
+	// StepExtern marks the external/prolog pseudo-step ("12345.extern").
+	StepExtern
+	// StepNumbered marks an srun-launched step ("12345.0", "12345.1", …).
+	StepNumbered
+)
+
+// JobID identifies a job, array task, or job step the way sacct prints
+// them: "123", "123.batch", "123.7", "123_4" (array task), "123_4.2".
+type JobID struct {
+	Job   int64    // base job id
+	Array int64    // array task index, -1 when not an array task
+	Kind  StepKind // which record this identifies
+	Step  int64    // step number when Kind == StepNumbered
+}
+
+// NewJobID returns the job-level ID for job.
+func NewJobID(job int64) JobID { return JobID{Job: job, Array: -1} }
+
+// WithStep returns the numbered-step ID for this job.
+func (id JobID) WithStep(n int64) JobID {
+	id.Kind, id.Step = StepNumbered, n
+	return id
+}
+
+// WithBatch returns the batch pseudo-step ID for this job.
+func (id JobID) WithBatch() JobID {
+	id.Kind, id.Step = StepBatch, 0
+	return id
+}
+
+// IsStep reports whether the ID names a step rather than the job itself.
+func (id JobID) IsStep() bool { return id.Kind != StepJob }
+
+// Base returns the job-level ID with any step component stripped.
+func (id JobID) Base() JobID {
+	id.Kind, id.Step = StepJob, 0
+	return id
+}
+
+// String renders the ID in sacct form.
+func (id JobID) String() string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatInt(id.Job, 10))
+	if id.Array >= 0 {
+		b.WriteByte('_')
+		b.WriteString(strconv.FormatInt(id.Array, 10))
+	}
+	switch id.Kind {
+	case StepBatch:
+		b.WriteString(".batch")
+	case StepExtern:
+		b.WriteString(".extern")
+	case StepNumbered:
+		b.WriteByte('.')
+		b.WriteString(strconv.FormatInt(id.Step, 10))
+	}
+	return b.String()
+}
+
+// ParseJobID parses a sacct JobID column value.
+func ParseJobID(s string) (JobID, error) {
+	t := strings.TrimSpace(s)
+	id := JobID{Array: -1}
+	if t == "" {
+		return id, fmt.Errorf("slurm: empty job id")
+	}
+	stepPart := ""
+	if i := strings.IndexByte(t, '.'); i >= 0 {
+		t, stepPart = t[:i], t[i+1:]
+	}
+	if i := strings.IndexByte(t, '_'); i >= 0 {
+		a, err := strconv.ParseInt(t[i+1:], 10, 64)
+		if err != nil || a < 0 {
+			return id, fmt.Errorf("slurm: bad array index in job id %q", s)
+		}
+		id.Array, t = a, t[:i]
+	}
+	j, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || j <= 0 {
+		return id, fmt.Errorf("slurm: bad job id %q", s)
+	}
+	id.Job = j
+	switch stepPart {
+	case "":
+		id.Kind = StepJob
+	case "batch":
+		id.Kind = StepBatch
+	case "extern":
+		id.Kind = StepExtern
+	default:
+		n, err := strconv.ParseInt(stepPart, 10, 64)
+		if err != nil || n < 0 {
+			return id, fmt.Errorf("slurm: bad step in job id %q", s)
+		}
+		id.Kind, id.Step = StepNumbered, n
+	}
+	return id, nil
+}
+
+// CompareJobID orders IDs by job, then array index, then step kind, then
+// step number — the order sacct emits records in.
+func CompareJobID(a, b JobID) int {
+	switch {
+	case a.Job != b.Job:
+		return cmp64(a.Job, b.Job)
+	case a.Array != b.Array:
+		return cmp64(a.Array, b.Array)
+	case a.Kind != b.Kind:
+		return int(a.Kind) - int(b.Kind)
+	default:
+		return cmp64(a.Step, b.Step)
+	}
+}
+
+func cmp64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Histogram is a fixed-bin histogram over [Min, Max). Values outside the
+// range are clamped into the edge bins so totals are preserved.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Log      bool // bins are uniform in log10(x) rather than x
+}
+
+// NewHistogram builds an empty histogram with the given bounds and bin
+// count. Log histograms require strictly positive bounds.
+func NewHistogram(min, max float64, bins int, log bool) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, errors.New("stats: bins must be positive")
+	}
+	if !(min < max) {
+		return nil, errors.New("stats: min must be below max")
+	}
+	if log && min <= 0 {
+		return nil, errors.New("stats: log histogram needs positive min")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins), Log: log}, nil
+}
+
+// BinIndex returns the bin an observation falls into, clamped to range.
+func (h *Histogram) BinIndex(x float64) int {
+	lo, hi, v := h.Min, h.Max, x
+	if h.Log {
+		if v <= 0 {
+			return 0
+		}
+		lo, hi, v = math.Log10(lo), math.Log10(hi), math.Log10(v)
+	}
+	i := int(float64(len(h.Counts)) * (v - lo) / (hi - lo))
+	if i < 0 {
+		return 0
+	}
+	if i >= len(h.Counts) {
+		return len(h.Counts) - 1
+	}
+	return i
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) { h.Counts[h.BinIndex(x)]++ }
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinEdges returns the len(Counts)+1 bin boundaries in data space.
+func (h *Histogram) BinEdges() []float64 {
+	n := len(h.Counts)
+	edges := make([]float64, n+1)
+	lo, hi := h.Min, h.Max
+	if h.Log {
+		lo, hi = math.Log10(lo), math.Log10(hi)
+	}
+	for i := 0; i <= n; i++ {
+		v := lo + (hi-lo)*float64(i)/float64(n)
+		if h.Log {
+			v = math.Pow(10, v)
+		}
+		edges[i] = v
+	}
+	return edges
+}
+
+// Mode returns the center of the most populated bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	edges := h.BinEdges()
+	return (edges[best] + edges[best+1]) / 2
+}
+
+// Grid2D bins (x, y) points onto a rectangular grid; it backs the density
+// comparisons the LLM analyst makes between scatter plots.
+type Grid2D struct {
+	XMin, XMax, YMin, YMax float64
+	NX, NY                 int
+	Counts                 []int // row-major, NY rows of NX
+	LogX, LogY             bool
+}
+
+// NewGrid2D builds an empty density grid.
+func NewGrid2D(xmin, xmax float64, nx int, logX bool, ymin, ymax float64, ny int, logY bool) (*Grid2D, error) {
+	if nx <= 0 || ny <= 0 {
+		return nil, errors.New("stats: grid dims must be positive")
+	}
+	if !(xmin < xmax) || !(ymin < ymax) {
+		return nil, errors.New("stats: invalid grid bounds")
+	}
+	if (logX && xmin <= 0) || (logY && ymin <= 0) {
+		return nil, errors.New("stats: log axis needs positive min")
+	}
+	return &Grid2D{
+		XMin: xmin, XMax: xmax, YMin: ymin, YMax: ymax,
+		NX: nx, NY: ny, Counts: make([]int, nx*ny),
+		LogX: logX, LogY: logY,
+	}, nil
+}
+
+func axisIndex(v, lo, hi float64, n int, log bool) int {
+	if log {
+		if v <= 0 {
+			return 0
+		}
+		v, lo, hi = math.Log10(v), math.Log10(lo), math.Log10(hi)
+	}
+	i := int(float64(n) * (v - lo) / (hi - lo))
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// Add records one point.
+func (g *Grid2D) Add(x, y float64) {
+	ix := axisIndex(x, g.XMin, g.XMax, g.NX, g.LogX)
+	iy := axisIndex(y, g.YMin, g.YMax, g.NY, g.LogY)
+	g.Counts[iy*g.NX+ix]++
+}
+
+// At returns the count in cell (ix, iy).
+func (g *Grid2D) At(ix, iy int) int { return g.Counts[iy*g.NX+ix] }
+
+// Total returns the number of recorded points.
+func (g *Grid2D) Total() int {
+	t := 0
+	for _, c := range g.Counts {
+		t += c
+	}
+	return t
+}
+
+// FractionBelowDiagonal returns the fraction of points with y < x, in data
+// space — the "actual below requested" mass in walltime plots.
+func (g *Grid2D) FractionBelowDiagonal() float64 {
+	total, below := 0, 0
+	xe := gridEdges(g.XMin, g.XMax, g.NX, g.LogX)
+	ye := gridEdges(g.YMin, g.YMax, g.NY, g.LogY)
+	for iy := 0; iy < g.NY; iy++ {
+		cy := (ye[iy] + ye[iy+1]) / 2
+		for ix := 0; ix < g.NX; ix++ {
+			c := g.At(ix, iy)
+			if c == 0 {
+				continue
+			}
+			total += c
+			cx := (xe[ix] + xe[ix+1]) / 2
+			if cy < cx {
+				below += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(below) / float64(total)
+}
+
+func gridEdges(lo, hi float64, n int, log bool) []float64 {
+	edges := make([]float64, n+1)
+	a, b := lo, hi
+	if log {
+		a, b = math.Log10(lo), math.Log10(hi)
+	}
+	for i := 0; i <= n; i++ {
+		v := a + (b-a)*float64(i)/float64(n)
+		if log {
+			v = math.Pow(10, v)
+		}
+		edges[i] = v
+	}
+	return edges
+}

@@ -1,0 +1,369 @@
+package tracegen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"slurmsight/internal/cluster"
+	"slurmsight/internal/slurm"
+	"slurmsight/internal/stats"
+)
+
+// FitProfile estimates a workload Profile from an accounting trace (job
+// and, when present, step records), so a site can regenerate a synthetic
+// double of its own — possibly unpublishable — sacct data. Jobs are split
+// into three size classes at the node-count quantiles; each class gets
+// lognormal fits for size, runtime, over-estimation, and step structure,
+// plus empirical outcome rates. The inverse of Generate, approximately:
+// feeding a generated trace back through FitProfile recovers parameters
+// close enough to reproduce the trace's figure shapes.
+func FitProfile(name string, sys *cluster.System, records []slurm.Record) (Profile, error) {
+	if sys == nil {
+		return Profile{}, fmt.Errorf("tracegen: FitProfile needs a system")
+	}
+	// Partition records and count steps per job.
+	var jobs []*slurm.Record
+	stepsPerJob := map[int64]int{}
+	for i := range records {
+		r := &records[i]
+		if r.IsStep() {
+			if r.ID.Kind == slurm.StepNumbered {
+				stepsPerJob[r.ID.Job]++
+			}
+			continue
+		}
+		jobs = append(jobs, r)
+	}
+	if len(jobs) < 50 {
+		return Profile{}, fmt.Errorf("tracegen: FitProfile needs at least 50 jobs, got %d", len(jobs))
+	}
+
+	// Submission rate. Generate's JobsPerDay counts submissions, and one
+	// array submission expands into many job records — so arrays count
+	// once here or the regenerated volume inflates.
+	lo, hi := jobs[0].Submit, jobs[0].Submit
+	arrayGroups := map[int64]bool{}
+	arrayTasks := 0
+	for _, j := range jobs {
+		if j.Submit.Before(lo) {
+			lo = j.Submit
+		}
+		if j.Submit.After(hi) {
+			hi = j.Submit
+		}
+		if j.ArrayJobID != 0 {
+			arrayGroups[j.ArrayJobID] = true
+			arrayTasks++
+		}
+	}
+	days := hi.Sub(lo).Hours() / 24
+	if days < 1 {
+		days = 1
+	}
+	submissions := len(jobs) - arrayTasks + len(arrayGroups)
+
+	// User population and activity skew.
+	perUser := map[string]int{}
+	perUserBad := map[string]int{}
+	for _, j := range jobs {
+		perUser[j.User]++
+		switch j.State {
+		case slurm.StateFailed, slurm.StateCancelled, slurm.StateNodeFail, slurm.StateOutOfMemory:
+			perUserBad[j.User]++
+		}
+	}
+	skew := fitZipfSkew(perUser)
+	spread := fitFailSpread(perUser, perUserBad)
+
+	// Size classes at the node-count tertiles of the log distribution.
+	nodes := make([]float64, len(jobs))
+	for i, j := range jobs {
+		n := float64(j.NNodes)
+		if n < 1 {
+			n = 1
+		}
+		nodes[i] = n
+	}
+	qs, err := stats.Quantiles(nodes, 0.5, 0.9)
+	if err != nil {
+		return Profile{}, err
+	}
+	cut1, cut2 := qs[0], qs[1]
+	classOf := func(n float64) int {
+		switch {
+		case n <= cut1:
+			return 0
+		case n <= cut2:
+			return 1
+		default:
+			return 2
+		}
+	}
+	classNames := []string{"small", "medium", "large"}
+	groups := make([][]*slurm.Record, 3)
+	for _, j := range jobs {
+		c := classOf(math.Max(1, float64(j.NNodes)))
+		groups[c] = append(groups[c], j)
+	}
+
+	p := Profile{
+		Name:       name,
+		System:     sys,
+		Users:      len(perUser),
+		UserSkew:   skew,
+		FailSpread: spread,
+		JobsPerDay: float64(submissions) / days,
+	}
+	for c, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		cls, err := fitClass(classNames[c], group, stepsPerJob, sys)
+		if err != nil {
+			return Profile{}, err
+		}
+		cls.Weight = float64(len(group)) / float64(len(jobs))
+		p.Classes = append(p.Classes, cls)
+	}
+	if err := validateProfile(&p); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// fitClass estimates one class's distributions from its member jobs.
+func fitClass(name string, group []*slurm.Record, stepsPerJob map[int64]int,
+	sys *cluster.System) (Class, error) {
+	var nodeVals, runVals, overVals, stepVals []float64
+	var failed, cancelled, timedOut, nodeFailed, oomed int
+	arrays := map[int64]int{}
+	for _, j := range group {
+		nodeVals = append(nodeVals, math.Max(1, float64(j.NNodes)))
+		switch j.State {
+		case slurm.StateFailed:
+			failed++
+		case slurm.StateCancelled:
+			cancelled++
+		case slurm.StateTimeout:
+			timedOut++
+		case slurm.StateNodeFail:
+			nodeFailed++
+		case slurm.StateOutOfMemory:
+			oomed++
+		}
+		if j.ArrayJobID != 0 {
+			arrays[j.ArrayJobID]++
+		}
+		if n := stepsPerJob[j.ID.Job]; n > 0 {
+			stepVals = append(stepVals, float64(n))
+		}
+		// Runtime and over-estimation only from jobs that ran to
+		// completion: failures truncate and timeouts censor.
+		if j.State == slurm.StateCompleted && j.Elapsed > 0 {
+			runVals = append(runVals, j.Elapsed.Seconds())
+			if j.Timelimit > 0 {
+				overVals = append(overVals, float64(j.Timelimit)/float64(j.Elapsed))
+			}
+		}
+	}
+	n := float64(len(group))
+	cls := Class{
+		Name:         name,
+		Nodes:        clampedLogNormal(nodeVals, 1, float64(sys.Nodes)),
+		Runtime:      clampedLogNormal(runVals, 30, 48*3600),
+		Overestimate: clampedLogNormal(overVals, 1, 20),
+		Steps:        clampedLogNormal(stepVals, 1, 400),
+		FailRate:     capRate(float64(failed) / n),
+		CancelRate:   capRate(float64(cancelled) / n),
+		TimeoutRate:  capRate(float64(timedOut) / n),
+		NodeFailRate: capRate(float64(nodeFailed) / n),
+		OOMRate:      capRate(float64(oomed) / n),
+		QOS:          "normal",
+	}
+	if len(arrays) > 0 {
+		var tasksInArrays int
+		var sizes []float64
+		for _, size := range arrays {
+			tasksInArrays += size
+			sizes = append(sizes, float64(size))
+		}
+		// Submissions ≈ standalone jobs + one per array group.
+		submissions := float64(len(group)-tasksInArrays) + float64(len(arrays))
+		if submissions > 0 {
+			cls.ArrayProb = capRate(float64(len(arrays)) / submissions)
+		}
+		cls.ArraySize = clampedLogNormal(sizes, 2, 256)
+	}
+	// Outcome mass sanity: Generate validates < 95%.
+	total := cls.FailRate + cls.CancelRate + cls.TimeoutRate + cls.NodeFailRate + cls.OOMRate
+	if total > 0.9 {
+		scale := 0.9 / total
+		cls.FailRate *= scale
+		cls.CancelRate *= scale
+		cls.TimeoutRate *= scale
+		cls.NodeFailRate *= scale
+		cls.OOMRate *= scale
+	}
+	return cls, nil
+}
+
+// clampedLogNormal fits a lognormal to samples by log-moments, clamped to
+// [lo, hi]; degenerate inputs fall back to a constant at the midpoint.
+func clampedLogNormal(xs []float64, lo, hi float64) Dist {
+	if len(xs) == 0 {
+		return Clamped{D: Const(math.Sqrt(lo * hi)), Lo: lo, Hi: hi}
+	}
+	var sum, sum2 float64
+	for _, x := range xs {
+		l := math.Log(math.Max(x, 1e-9))
+		sum += l
+		sum2 += l * l
+	}
+	n := float64(len(xs))
+	mu := sum / n
+	variance := sum2/n - mu*mu
+	if variance < 0 {
+		variance = 0
+	}
+	sigma := math.Sqrt(variance)
+	if sigma < 0.05 {
+		sigma = 0.05
+	}
+	return Clamped{D: LogNormal{Mu: mu, Sigma: sigma}, Lo: lo, Hi: hi}
+}
+
+func capRate(r float64) float64 {
+	if r < 0 {
+		return 0
+	}
+	if r > 0.45 {
+		return 0.45
+	}
+	return r
+}
+
+// fitZipfSkew estimates the activity-skew exponent from per-user job
+// counts via a log-log least-squares fit of count against rank.
+func fitZipfSkew(perUser map[string]int) float64 {
+	counts := make([]float64, 0, len(perUser))
+	for _, c := range perUser {
+		counts = append(counts, float64(c))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(counts)))
+	var xs, ys []float64
+	for i, c := range counts {
+		if c <= 0 {
+			break
+		}
+		xs = append(xs, math.Log(float64(i+1)))
+		ys = append(ys, math.Log(c))
+	}
+	if len(xs) < 3 {
+		return 1.0
+	}
+	fit, err := stats.FitLine(xs, ys)
+	if err != nil {
+		return 1.0
+	}
+	s := -fit.Slope
+	if s < 0.2 {
+		s = 0.2
+	}
+	if s > 2.5 {
+		s = 2.5
+	}
+	return s
+}
+
+// fitFailSpread estimates the lognormal spread of per-user failure
+// propensity from users with enough jobs to estimate a rate.
+func fitFailSpread(perUser, perUserBad map[string]int) float64 {
+	var logs []float64
+	var sum float64
+	for user, total := range perUser {
+		if total < 5 {
+			continue
+		}
+		rate := (float64(perUserBad[user]) + 0.5) / (float64(total) + 1) // smoothed
+		logs = append(logs, math.Log(rate))
+		sum += math.Log(rate)
+	}
+	if len(logs) < 3 {
+		return 1.5
+	}
+	mean := sum / float64(len(logs))
+	var variance float64
+	for _, l := range logs {
+		variance += (l - mean) * (l - mean)
+	}
+	sigma := math.Sqrt(variance / float64(len(logs)-1))
+	spread := math.Exp(sigma)
+	if spread < 1.05 {
+		spread = 1.05
+	}
+	if spread > 6 {
+		spread = 6
+	}
+	return spread
+}
+
+// CalibrationReport compares headline statistics of two traces — the
+// original and a regenerated double — for judging a fit.
+type CalibrationReport struct {
+	Jobs            [2]int
+	JobsPerDay      [2]float64
+	MedianNodes     [2]float64
+	MedianRuntimeS  [2]float64
+	MedianOverRatio [2]float64
+	FailedShare     [2]float64
+}
+
+// CompareTraces computes the side-by-side calibration report.
+func CompareTraces(a, b []slurm.Record) CalibrationReport {
+	var rep CalibrationReport
+	for side, recs := range [2][]slurm.Record{a, b} {
+		var nodes, runs, overs []float64
+		bad := 0
+		total := 0
+		lo, hi := time.Time{}, time.Time{}
+		for i := range recs {
+			r := &recs[i]
+			if r.IsStep() {
+				continue
+			}
+			total++
+			if lo.IsZero() || r.Submit.Before(lo) {
+				lo = r.Submit
+			}
+			if r.Submit.After(hi) {
+				hi = r.Submit
+			}
+			nodes = append(nodes, float64(r.NNodes))
+			switch r.State {
+			case slurm.StateFailed, slurm.StateCancelled, slurm.StateNodeFail, slurm.StateOutOfMemory:
+				bad++
+			}
+			if r.State == slurm.StateCompleted && r.Elapsed > 0 {
+				runs = append(runs, r.Elapsed.Seconds())
+				if r.Timelimit > 0 {
+					overs = append(overs, float64(r.Timelimit)/float64(r.Elapsed))
+				}
+			}
+		}
+		rep.Jobs[side] = total
+		if days := hi.Sub(lo).Hours() / 24; days >= 1 {
+			rep.JobsPerDay[side] = float64(total) / days
+		} else {
+			rep.JobsPerDay[side] = float64(total)
+		}
+		rep.MedianNodes[side], _ = stats.Quantile(nodes, 0.5)
+		rep.MedianRuntimeS[side], _ = stats.Quantile(runs, 0.5)
+		rep.MedianOverRatio[side], _ = stats.Quantile(overs, 0.5)
+		if total > 0 {
+			rep.FailedShare[side] = float64(bad) / float64(total)
+		}
+	}
+	return rep
+}

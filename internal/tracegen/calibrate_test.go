@@ -1,0 +1,195 @@
+package tracegen
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"slurmsight/internal/cluster"
+	"slurmsight/internal/slurm"
+)
+
+// syntheticTrace builds job records directly (bypassing the scheduler) so
+// calibration tests control the ground truth exactly.
+func syntheticTrace(n int) []slurm.Record {
+	base := time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+	recs := make([]slurm.Record, 0, n)
+	for i := 0; i < n; i++ {
+		// Deterministic pseudo-random shape: sizes cycle over three
+		// scales; runtimes over minutes-to-hours; every 7th job fails.
+		nodes := []int64{1, 2, 4, 64, 128, 2000}[i%6]
+		run := time.Duration(10+i%50) * time.Minute
+		limit := run * time.Duration(2+i%3)
+		st := slurm.StateCompleted
+		if i%7 == 0 {
+			st = slurm.StateFailed
+		}
+		r := slurm.Record{
+			ID:        slurm.NewJobID(int64(200000 + i)),
+			User:      []string{"u1", "u1", "u1", "u2", "u2", "u3", "u4"}[i%7],
+			Submit:    base.Add(time.Duration(i) * 20 * time.Minute),
+			NNodes:    nodes,
+			Timelimit: limit,
+			Elapsed:   run,
+			State:     st,
+		}
+		r.Start = r.Submit.Add(time.Minute)
+		r.End = r.Start.Add(run)
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+func TestFitProfileShape(t *testing.T) {
+	trace := syntheticTrace(700)
+	p, err := FitProfile("fitted", cluster.Frontier(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Users != 4 {
+		t.Errorf("Users = %d, want 4", p.Users)
+	}
+	// Discrete node values can collapse a quantile cut onto the extreme,
+	// leaving an empty class that FitProfile drops.
+	if len(p.Classes) < 2 || len(p.Classes) > 3 {
+		t.Fatalf("classes = %d, want 2 or 3", len(p.Classes))
+	}
+	var weight float64
+	for _, c := range p.Classes {
+		weight += c.Weight
+	}
+	if math.Abs(weight-1) > 1e-9 {
+		t.Errorf("class weights sum to %v", weight)
+	}
+	// ~1/7 of jobs fail; the per-class rates should reflect that scale.
+	var failRate float64
+	for _, c := range p.Classes {
+		failRate += c.Weight * c.FailRate
+	}
+	if failRate < 0.08 || failRate > 0.22 {
+		t.Errorf("aggregate fitted fail rate = %v, want ≈0.14", failRate)
+	}
+	// Submission rate: 3 jobs/hour = 72/day.
+	if p.JobsPerDay < 50 || p.JobsPerDay > 95 {
+		t.Errorf("JobsPerDay = %v, want ≈72", p.JobsPerDay)
+	}
+}
+
+func TestFitProfileErrors(t *testing.T) {
+	if _, err := FitProfile("x", nil, syntheticTrace(100)); err == nil {
+		t.Error("nil system: want error")
+	}
+	if _, err := FitProfile("x", cluster.Frontier(), syntheticTrace(10)); err == nil {
+		t.Error("tiny trace: want error")
+	}
+}
+
+// TestFitProfileRoundTrip is the calibration loop: generate a trace from
+// a known profile, fit a profile to it, regenerate, and compare headline
+// statistics of the two traces.
+func TestFitProfileRoundTrip(t *testing.T) {
+	start := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	end := start.AddDate(0, 0, 21)
+	original := FrontierProfile()
+	original.JobsPerDay, original.Users = 120, 60
+	reqs, err := Generate([]Phase{{Profile: original, Start: start, End: end}}, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requests → records directly (submit-time truth; scheduling effects
+	// are not what calibration estimates).
+	recs := make([]slurm.Record, len(reqs))
+	for i, r := range reqs {
+		rec := slurm.Record{
+			ID:        slurm.NewJobID(int64(300000 + i)),
+			User:      r.User,
+			Submit:    r.Submit,
+			NNodes:    int64(r.Nodes),
+			Timelimit: r.Timelimit,
+			State:     r.Outcome,
+		}
+		rec.Start = r.Submit
+		switch r.Outcome {
+		case slurm.StateCompleted:
+			rec.Elapsed = r.TrueRuntime
+		case slurm.StateTimeout:
+			rec.Elapsed = r.Timelimit
+		case slurm.StateCancelled:
+			rec.Elapsed = r.TrueRuntime / 2
+		default:
+			rec.Elapsed = time.Duration(float64(r.TrueRuntime) * math.Max(r.FailFrac, 0.05))
+		}
+		rec.End = rec.Start.Add(rec.Elapsed)
+		recs[i] = rec
+	}
+
+	fitted, err := FitProfile("refit", cluster.Frontier(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regen, err := Generate([]Phase{{Profile: fitted, Start: start, End: end}}, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regenRecs := make([]slurm.Record, len(regen))
+	for i, r := range regen {
+		rec := slurm.Record{
+			ID: slurm.NewJobID(int64(400000 + i)), User: r.User, Submit: r.Submit,
+			NNodes: int64(r.Nodes), Timelimit: r.Timelimit, State: r.Outcome,
+		}
+		rec.Start = r.Submit
+		rec.Elapsed = r.TrueRuntime
+		rec.End = rec.Start.Add(rec.Elapsed)
+		regenRecs[i] = rec
+	}
+
+	rep := CompareTraces(recs, regenRecs)
+	within := func(name string, a, b, factor float64) {
+		t.Helper()
+		if a <= 0 || b <= 0 {
+			t.Errorf("%s degenerate: %v vs %v", name, a, b)
+			return
+		}
+		ratio := a / b
+		if ratio < 1/factor || ratio > factor {
+			t.Errorf("%s drifted: original %v vs regenerated %v", name, a, b)
+		}
+	}
+	within("jobs/day", rep.JobsPerDay[0], rep.JobsPerDay[1], 1.6)
+	within("median nodes", math.Max(rep.MedianNodes[0], 1), math.Max(rep.MedianNodes[1], 1), 2.5)
+	within("median runtime", rep.MedianRuntimeS[0], rep.MedianRuntimeS[1], 2.5)
+	within("median over-ratio", rep.MedianOverRatio[0], rep.MedianOverRatio[1], 1.8)
+}
+
+func TestCompareTracesEmptySides(t *testing.T) {
+	rep := CompareTraces(nil, syntheticTrace(60))
+	if rep.Jobs[0] != 0 || rep.Jobs[1] != 60 {
+		t.Errorf("Jobs = %v", rep.Jobs)
+	}
+}
+
+func TestFitHelpers(t *testing.T) {
+	// Zipf skew: perfectly flat activity → low skew.
+	flat := map[string]int{"a": 10, "b": 10, "c": 10, "d": 10}
+	if s := fitZipfSkew(flat); s > 0.4 {
+		t.Errorf("flat activity skew = %v", s)
+	}
+	// Steep activity → high skew.
+	steep := map[string]int{"a": 1000, "b": 120, "c": 40, "d": 15, "e": 8, "f": 4}
+	if s := fitZipfSkew(steep); s < 1.0 {
+		t.Errorf("steep activity skew = %v", s)
+	}
+	// Uniform failure rates → spread near 1.
+	users := map[string]int{"a": 100, "b": 100, "c": 100, "d": 100}
+	bad := map[string]int{"a": 10, "b": 10, "c": 10, "d": 10}
+	low := fitFailSpread(users, bad)
+	// Wildly uneven rates → larger spread.
+	badUneven := map[string]int{"a": 45, "b": 10, "c": 2, "d": 0}
+	high := fitFailSpread(users, badUneven)
+	if low >= high {
+		t.Errorf("spread ordering wrong: uniform %v ≥ uneven %v", low, high)
+	}
+	if s := fitFailSpread(map[string]int{"a": 2}, map[string]int{}); s != 1.5 {
+		t.Errorf("insufficient data fallback = %v", s)
+	}
+}

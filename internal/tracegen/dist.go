@@ -1,0 +1,129 @@
+// Package tracegen generates synthetic Slurm workloads statistically
+// shaped like the Frontier and Andes traces the paper analyses. It stands
+// in for OLCF's proprietary accounting data: job classes (hero runs,
+// ensembles, AI training, debug, interactive near-real-time work), a
+// heavy-tailed user population with per-user failure propensities, diurnal
+// and weekly arrival modulation, systematic walltime over-estimation, and
+// multi-step (srun) job structure.
+//
+// The generator emits scheduling Requests; the internal/sched simulator
+// executes them into accounting records.
+package tracegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a one-dimensional sampling distribution.
+type Dist interface {
+	Sample(r *rand.Rand) float64
+}
+
+// Const always returns its value.
+type Const float64
+
+// Sample implements Dist.
+func (c Const) Sample(*rand.Rand) float64 { return float64(c) }
+
+// Uniform samples uniformly from [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *rand.Rand) float64 { return u.Lo + r.Float64()*(u.Hi-u.Lo) }
+
+// LogNormal samples exp(N(Mu, Sigma²)); the natural shape for job
+// runtimes and node counts, which span decades.
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Sample implements Dist.
+func (l LogNormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// LogNormalMedian builds a LogNormal from its median and a multiplicative
+// spread factor (sigma in log space = ln(spread)).
+func LogNormalMedian(median, spread float64) LogNormal {
+	return LogNormal{Mu: math.Log(median), Sigma: math.Log(spread)}
+}
+
+// Exponential samples an exponential with the given mean.
+type Exponential struct{ Mean float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *rand.Rand) float64 { return r.ExpFloat64() * e.Mean }
+
+// Clamped bounds another distribution to [Lo, Hi].
+type Clamped struct {
+	D      Dist
+	Lo, Hi float64
+}
+
+// Sample implements Dist.
+func (c Clamped) Sample(r *rand.Rand) float64 {
+	v := c.D.Sample(r)
+	if v < c.Lo {
+		return c.Lo
+	}
+	if v > c.Hi {
+		return c.Hi
+	}
+	return v
+}
+
+// Mixture samples one of its components with the given weights.
+type Mixture struct {
+	Weights []float64
+	Parts   []Dist
+}
+
+// Sample implements Dist.
+func (m Mixture) Sample(r *rand.Rand) float64 {
+	return m.Parts[weightedIndex(r, m.Weights)].Sample(r)
+}
+
+// weightedIndex picks an index proportionally to weights (which need not
+// be normalised). Panics on an empty or non-positive weight vector.
+func weightedIndex(r *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("tracegen: negative weight %v", w))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("tracegen: no positive weights")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// sampleInt draws from d and rounds to an int clamped to [lo, hi].
+func sampleInt(r *rand.Rand, d Dist, lo, hi int) int {
+	v := int(math.Round(d.Sample(r)))
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// zipfWeights returns n weights following a Zipf law with exponent s —
+// the classic heavy-tailed "few users dominate" activity profile.
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return w
+}

@@ -1,0 +1,328 @@
+package tracegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"slurmsight/internal/slurm"
+)
+
+// Request is one job submission ready for the scheduler simulator: the
+// user-visible request plus the hidden ground truth (true runtime, planned
+// outcome) the simulator needs to execute it.
+type Request struct {
+	User      string
+	Account   string
+	Class     string
+	JobName   string
+	Partition string
+	QOS       string
+
+	Submit time.Time
+	Nodes  int
+	// Cores requests a sub-node allocation (Nodes must be 1): schedulers
+	// with node sharing enabled pack such jobs onto shared nodes; without
+	// it the job occupies the whole node.
+	Cores       int
+	Timelimit   time.Duration
+	TrueRuntime time.Duration // runtime if allowed to finish
+	Steps       int
+
+	// Outcome is the planned terminal state. TIMEOUT is enforced by the
+	// scheduler when TrueRuntime exceeds Timelimit; CANCELLED uses
+	// CancelAfter; failures use FailFrac.
+	Outcome     slurm.State
+	CancelAfter time.Duration // cancel this long after submit
+	FailFrac    float64       // fraction of TrueRuntime at which the job dies
+
+	ArrayID    int64 // shared id for array siblings; 0 when standalone
+	ArrayIndex int   // task index within the array
+
+	// Chain links workflow pipelines: jobs sharing a Chain id form an
+	// afterok dependency sequence ordered by ChainPos (each position
+	// becomes eligible only when the previous one completes).
+	Chain    int64
+	ChainPos int
+
+	// Reservation names an advance reservation the job targets; it must
+	// match a sched.Reservation for the scheduler to honour it.
+	Reservation string
+}
+
+// user is one member of the synthetic population.
+type user struct {
+	name     string
+	account  string
+	weight   float64
+	failMult float64
+}
+
+// Generate produces the submissions for a sequence of phases, sorted by
+// submit time. The same seed always yields the same workload.
+func Generate(phases []Phase, seed int64) ([]Request, error) {
+	r := rand.New(rand.NewSource(seed))
+	var out []Request
+	var arrayID, chainID int64
+	for _, ph := range phases {
+		if !ph.Start.Before(ph.End) {
+			return nil, fmt.Errorf("tracegen: phase %q has empty window", ph.Profile.Name)
+		}
+		if err := validateProfile(&ph.Profile); err != nil {
+			return nil, err
+		}
+		reqs, err := generatePhase(r, ph, &arrayID, &chainID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, reqs...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Submit.Before(out[j].Submit) })
+	return out, nil
+}
+
+func validateProfile(p *Profile) error {
+	if p.System == nil {
+		return fmt.Errorf("tracegen: profile %q has no system", p.Name)
+	}
+	if len(p.Classes) == 0 {
+		return fmt.Errorf("tracegen: profile %q has no classes", p.Name)
+	}
+	if p.Users <= 0 {
+		return fmt.Errorf("tracegen: profile %q has no users", p.Name)
+	}
+	if p.JobsPerDay <= 0 {
+		return fmt.Errorf("tracegen: profile %q has non-positive rate", p.Name)
+	}
+	total := 0.0
+	for _, c := range p.Classes {
+		if c.Weight < 0 {
+			return fmt.Errorf("tracegen: class %q has negative weight", c.Name)
+		}
+		total += c.Weight
+		if c.FailRate+c.CancelRate+c.TimeoutRate+c.NodeFailRate+c.OOMRate > 0.95 {
+			return fmt.Errorf("tracegen: class %q failure rates exceed 95%%", c.Name)
+		}
+	}
+	if total <= 0 {
+		return fmt.Errorf("tracegen: profile %q has zero total class weight", p.Name)
+	}
+	return nil
+}
+
+func buildUsers(r *rand.Rand, p *Profile) []user {
+	failSigma := math.Log(math.Max(p.FailSpread, 1.0))
+	weights := zipfWeights(p.Users, p.UserSkew)
+	// Shuffle the weight assignment so user ids do not encode activity.
+	perm := r.Perm(p.Users)
+	users := make([]user, p.Users)
+	accounts := p.Users/3 + 1
+	for i := range users {
+		users[i] = user{
+			name:     fmt.Sprintf("u%04d", i+1),
+			account:  fmt.Sprintf("prj%03d", r.Intn(accounts)+1),
+			weight:   weights[perm[i]],
+			failMult: math.Exp(failSigma * r.NormFloat64()),
+		}
+	}
+	return users
+}
+
+// diurnalWeights shapes within-day submissions: quiet overnight, ramping
+// through the working day, an evening tail from batch campaigns.
+var diurnalWeights = [24]float64{
+	0.5, 0.4, 0.35, 0.3, 0.3, 0.35, 0.5, 0.8,
+	1.2, 1.6, 1.8, 1.8, 1.7, 1.8, 1.9, 1.8,
+	1.6, 1.4, 1.2, 1.0, 0.9, 0.8, 0.7, 0.6,
+}
+
+// weekdayFactor damps weekend submissions without silencing them; large
+// facilities keep running campaigns through the weekend.
+func weekdayFactor(d time.Weekday) float64 {
+	switch d {
+	case time.Saturday, time.Sunday:
+		return 0.55
+	}
+	return 1.0
+}
+
+// poisson samples a Poisson variate; Knuth's method for small means and a
+// normal approximation beyond it.
+func poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		n := int(math.Round(mean + math.Sqrt(mean)*r.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func generatePhase(r *rand.Rand, ph Phase, arrayID, chainID *int64) ([]Request, error) {
+	p := &ph.Profile
+	users := buildUsers(r, p)
+	userWeights := make([]float64, len(users))
+	for i := range users {
+		userWeights[i] = users[i].weight
+	}
+	classWeights := make([]float64, len(p.Classes))
+	for i := range p.Classes {
+		classWeights[i] = p.Classes[i].Weight
+	}
+
+	var out []Request
+	var diurnal []float64 = diurnalWeights[:]
+	jobSerial := 0
+	for day := ph.Start.Truncate(24 * time.Hour); day.Before(ph.End); day = day.Add(24 * time.Hour) {
+		n := poisson(r, p.JobsPerDay*weekdayFactor(day.Weekday()))
+		for i := 0; i < n; i++ {
+			hour := weightedIndex(r, diurnal)
+			submit := day.Add(time.Duration(hour)*time.Hour +
+				time.Duration(r.Intn(3600))*time.Second)
+			if submit.Before(ph.Start) || !submit.Before(ph.End) {
+				continue
+			}
+			u := &users[weightedIndex(r, userWeights)]
+			cls := &p.Classes[weightedIndex(r, classWeights)]
+			jobSerial++
+			// A submission is a dependency chain, a job array, or a
+			// standalone job.
+			if cls.ChainProb > 0 && r.Float64() < cls.ChainProb {
+				length := sampleInt(r, cls.ChainLen, 2, 64)
+				*chainID++
+				for pos := 0; pos < length; pos++ {
+					req := sampleRequest(r, p, cls, u, submit)
+					req.JobName = fmt.Sprintf("%s_%05d_s%d", cls.Name, jobSerial, pos)
+					req.Chain, req.ChainPos = *chainID, pos
+					out = append(out, req)
+				}
+				continue
+			}
+			tasks := 1
+			var aid int64
+			if cls.ArrayProb > 0 && r.Float64() < cls.ArrayProb {
+				tasks = sampleInt(r, cls.ArraySize, 2, 1<<20)
+				*arrayID++
+				aid = *arrayID
+			}
+			for task := 0; task < tasks; task++ {
+				req := sampleRequest(r, p, cls, u, submit)
+				req.JobName = fmt.Sprintf("%s_%05d", cls.Name, jobSerial)
+				if aid != 0 {
+					req.ArrayID, req.ArrayIndex = aid, task
+				}
+				out = append(out, req)
+			}
+		}
+	}
+	return out, nil
+}
+
+func sampleRequest(r *rand.Rand, p *Profile, cls *Class, u *user, submit time.Time) Request {
+	sys := p.System
+	part := sys.DefaultPartition()
+	if cls.Partition != "" {
+		if pp, ok := sys.PartitionByName(cls.Partition); ok {
+			part = pp
+		}
+	}
+	nodes := sampleInt(r, cls.Nodes, 1, part.MaxNodes)
+	subCores := 0
+	if cls.SubNodeCores != nil {
+		nodes = 1
+		subCores = sampleInt(r, cls.SubNodeCores, 1, sys.CoresPerNode)
+	}
+	maxWall := sys.MaxWallForNodes(part, nodes)
+	if q, ok := sys.QOSByName(cls.QOS); ok && q.MaxWall > 0 && q.MaxWall < maxWall {
+		maxWall = q.MaxWall
+	}
+
+	trueRun := time.Duration(cls.Runtime.Sample(r)) * time.Second
+	if trueRun < 10*time.Second {
+		trueRun = 10 * time.Second
+	}
+	// Users cannot request beyond policy; true runtimes beyond 1.5× the
+	// ceiling are re-scoped the way real users chunk long campaigns.
+	if limit := maxWall + maxWall/2; trueRun > limit {
+		trueRun = limit
+	}
+
+	over := cls.Overestimate.Sample(r)
+	if over < 1 {
+		over = 1
+	}
+	limitReq := time.Duration(float64(trueRun) * over).Round(time.Minute)
+	if limitReq < 10*time.Minute {
+		limitReq = 10 * time.Minute
+	}
+	if limitReq > maxWall {
+		limitReq = maxWall
+	}
+
+	req := Request{
+		User:        u.name,
+		Account:     u.account,
+		Class:       cls.Name,
+		Partition:   part.Name,
+		QOS:         cls.QOS,
+		Submit:      submit,
+		Nodes:       nodes,
+		Cores:       subCores,
+		Timelimit:   limitReq,
+		TrueRuntime: trueRun,
+		Steps:       sampleInt(r, cls.Steps, 1, 1<<20),
+		Outcome:     slurm.StateCompleted,
+	}
+
+	// Outcome roll. Fail/cancel rates scale with the user's propensity.
+	fail := clampProb(cls.FailRate * u.failMult)
+	cancel := clampProb(cls.CancelRate * u.failMult)
+	x := r.Float64()
+	switch {
+	case x < fail:
+		req.Outcome = slurm.StateFailed
+		req.FailFrac = 0.02 + 0.98*r.Float64()
+	case x < fail+cancel:
+		req.Outcome = slurm.StateCancelled
+		req.CancelAfter = time.Duration(Exponential{Mean: float64(limitReq)}.Sample(r))
+	case x < fail+cancel+cls.TimeoutRate:
+		req.Outcome = slurm.StateTimeout
+		// Force the true runtime past the request so the limit bites.
+		req.TrueRuntime = limitReq + time.Duration(float64(limitReq)*(0.05+0.5*r.Float64()))
+	case x < fail+cancel+cls.TimeoutRate+cls.NodeFailRate:
+		req.Outcome = slurm.StateNodeFail
+		req.FailFrac = r.Float64()
+	case x < fail+cancel+cls.TimeoutRate+cls.NodeFailRate+cls.OOMRate:
+		req.Outcome = slurm.StateOutOfMemory
+		req.FailFrac = 0.1 + 0.9*r.Float64()
+	}
+	// Natural timeouts: policy clamped the request below the true runtime.
+	if req.Outcome == slurm.StateCompleted && req.TrueRuntime > req.Timelimit {
+		req.Outcome = slurm.StateTimeout
+	}
+	return req
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 0.45 {
+		return 0.45
+	}
+	return p
+}

@@ -1,0 +1,242 @@
+package tracegen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"slurmsight/internal/cluster"
+)
+
+// distJSON is the tagged wire form of a Dist.
+type distJSON struct {
+	Kind string `json:"kind"`
+	// const
+	Value float64 `json:"value,omitempty"`
+	// uniform
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+	// lognormal
+	Mu    float64 `json:"mu,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+	// exponential
+	Mean float64 `json:"mean,omitempty"`
+	// clamped
+	Inner *distJSON `json:"inner,omitempty"`
+	// mixture
+	Weights []float64  `json:"weights,omitempty"`
+	Parts   []distJSON `json:"parts,omitempty"`
+}
+
+func marshalDist(d Dist) (*distJSON, error) {
+	switch v := d.(type) {
+	case nil:
+		return nil, nil
+	case Const:
+		return &distJSON{Kind: "const", Value: float64(v)}, nil
+	case Uniform:
+		return &distJSON{Kind: "uniform", Lo: v.Lo, Hi: v.Hi}, nil
+	case LogNormal:
+		return &distJSON{Kind: "lognormal", Mu: v.Mu, Sigma: v.Sigma}, nil
+	case Exponential:
+		return &distJSON{Kind: "exponential", Mean: v.Mean}, nil
+	case Clamped:
+		inner, err := marshalDist(v.D)
+		if err != nil {
+			return nil, err
+		}
+		return &distJSON{Kind: "clamped", Lo: v.Lo, Hi: v.Hi, Inner: inner}, nil
+	case Mixture:
+		out := &distJSON{Kind: "mixture", Weights: v.Weights}
+		for _, p := range v.Parts {
+			pj, err := marshalDist(p)
+			if err != nil {
+				return nil, err
+			}
+			out.Parts = append(out.Parts, *pj)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("tracegen: cannot serialize distribution %T", d)
+	}
+}
+
+func unmarshalDist(j *distJSON) (Dist, error) {
+	if j == nil {
+		return nil, nil
+	}
+	switch j.Kind {
+	case "const":
+		return Const(j.Value), nil
+	case "uniform":
+		return Uniform{Lo: j.Lo, Hi: j.Hi}, nil
+	case "lognormal":
+		return LogNormal{Mu: j.Mu, Sigma: j.Sigma}, nil
+	case "exponential":
+		return Exponential{Mean: j.Mean}, nil
+	case "clamped":
+		inner, err := unmarshalDist(j.Inner)
+		if err != nil {
+			return nil, err
+		}
+		if inner == nil {
+			return nil, fmt.Errorf("tracegen: clamped distribution lacks an inner distribution")
+		}
+		return Clamped{D: inner, Lo: j.Lo, Hi: j.Hi}, nil
+	case "mixture":
+		if len(j.Weights) != len(j.Parts) || len(j.Parts) == 0 {
+			return nil, fmt.Errorf("tracegen: mixture weights/parts mismatch")
+		}
+		m := Mixture{Weights: j.Weights}
+		for i := range j.Parts {
+			p, err := unmarshalDist(&j.Parts[i])
+			if err != nil {
+				return nil, err
+			}
+			m.Parts = append(m.Parts, p)
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("tracegen: unknown distribution kind %q", j.Kind)
+	}
+}
+
+// classJSON is the wire form of a Class.
+type classJSON struct {
+	Name         string    `json:"name"`
+	Weight       float64   `json:"weight"`
+	Nodes        *distJSON `json:"nodes"`
+	SubNodeCores *distJSON `json:"sub_node_cores,omitempty"`
+	Runtime      *distJSON `json:"runtime"`
+	Overestimate *distJSON `json:"overestimate"`
+	Steps        *distJSON `json:"steps"`
+	FailRate     float64   `json:"fail_rate,omitempty"`
+	CancelRate   float64   `json:"cancel_rate,omitempty"`
+	TimeoutRate  float64   `json:"timeout_rate,omitempty"`
+	NodeFailRate float64   `json:"node_fail_rate,omitempty"`
+	OOMRate      float64   `json:"oom_rate,omitempty"`
+	ArrayProb    float64   `json:"array_prob,omitempty"`
+	ArraySize    *distJSON `json:"array_size,omitempty"`
+	ChainProb    float64   `json:"chain_prob,omitempty"`
+	ChainLen     *distJSON `json:"chain_len,omitempty"`
+	QOS          string    `json:"qos,omitempty"`
+	Partition    string    `json:"partition,omitempty"`
+}
+
+// profileJSON is the wire form of a Profile; the system model is inlined
+// so custom machines round-trip.
+type profileJSON struct {
+	Name       string          `json:"name"`
+	System     *cluster.System `json:"system"`
+	Users      int             `json:"users"`
+	UserSkew   float64         `json:"user_skew"`
+	FailSpread float64         `json:"fail_spread"`
+	JobsPerDay float64         `json:"jobs_per_day"`
+	Classes    []classJSON     `json:"classes"`
+}
+
+// MarshalProfile encodes a profile as JSON.
+func MarshalProfile(p *Profile) ([]byte, error) {
+	out := profileJSON{
+		Name: p.Name, System: p.System,
+		Users: p.Users, UserSkew: p.UserSkew,
+		FailSpread: p.FailSpread, JobsPerDay: p.JobsPerDay,
+	}
+	for i := range p.Classes {
+		c := &p.Classes[i]
+		cj := classJSON{
+			Name: c.Name, Weight: c.Weight,
+			FailRate: c.FailRate, CancelRate: c.CancelRate, TimeoutRate: c.TimeoutRate,
+			NodeFailRate: c.NodeFailRate, OOMRate: c.OOMRate,
+			ArrayProb: c.ArrayProb, ChainProb: c.ChainProb,
+			QOS: c.QOS, Partition: c.Partition,
+		}
+		var err error
+		for _, f := range []struct {
+			dst **distJSON
+			src Dist
+		}{
+			{&cj.Nodes, c.Nodes}, {&cj.SubNodeCores, c.SubNodeCores}, {&cj.Runtime, c.Runtime},
+			{&cj.Overestimate, c.Overestimate}, {&cj.Steps, c.Steps},
+			{&cj.ArraySize, c.ArraySize}, {&cj.ChainLen, c.ChainLen},
+		} {
+			if *f.dst, err = marshalDist(f.src); err != nil {
+				return nil, fmt.Errorf("tracegen: class %s: %w", c.Name, err)
+			}
+		}
+		out.Classes = append(out.Classes, cj)
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// UnmarshalProfile decodes and validates a profile.
+func UnmarshalProfile(data []byte) (Profile, error) {
+	var in profileJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return Profile{}, fmt.Errorf("tracegen: %w", err)
+	}
+	p := Profile{
+		Name: in.Name, System: in.System,
+		Users: in.Users, UserSkew: in.UserSkew,
+		FailSpread: in.FailSpread, JobsPerDay: in.JobsPerDay,
+	}
+	if p.System != nil {
+		if err := p.System.Validate(); err != nil {
+			return Profile{}, err
+		}
+	}
+	for i := range in.Classes {
+		cj := &in.Classes[i]
+		c := Class{
+			Name: cj.Name, Weight: cj.Weight,
+			FailRate: cj.FailRate, CancelRate: cj.CancelRate, TimeoutRate: cj.TimeoutRate,
+			NodeFailRate: cj.NodeFailRate, OOMRate: cj.OOMRate,
+			ArrayProb: cj.ArrayProb, ChainProb: cj.ChainProb,
+			QOS: cj.QOS, Partition: cj.Partition,
+		}
+		var err error
+		for _, f := range []struct {
+			dst *Dist
+			src *distJSON
+		}{
+			{&c.Nodes, cj.Nodes}, {&c.SubNodeCores, cj.SubNodeCores}, {&c.Runtime, cj.Runtime},
+			{&c.Overestimate, cj.Overestimate}, {&c.Steps, cj.Steps},
+			{&c.ArraySize, cj.ArraySize}, {&c.ChainLen, cj.ChainLen},
+		} {
+			if *f.dst, err = unmarshalDist(f.src); err != nil {
+				return Profile{}, fmt.Errorf("tracegen: class %s: %w", cj.Name, err)
+			}
+		}
+		for _, req := range []struct {
+			name string
+			d    Dist
+		}{{"nodes", c.Nodes}, {"runtime", c.Runtime}, {"overestimate", c.Overestimate}, {"steps", c.Steps}} {
+			if req.d == nil {
+				return Profile{}, fmt.Errorf("tracegen: class %s lacks the %s distribution", cj.Name, req.name)
+			}
+		}
+		p.Classes = append(p.Classes, c)
+	}
+	if err := validateProfile(&p); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// SaveProfile writes a profile to a JSON file.
+func SaveProfile(p *Profile, path string) error {
+	data, err := MarshalProfile(p)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadProfile reads a profile from a JSON file.
+func LoadProfile(path string) (Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Profile{}, err
+	}
+	return UnmarshalProfile(data)
+}

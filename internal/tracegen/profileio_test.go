@@ -1,0 +1,155 @@
+package tracegen
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	for _, build := range []func() Profile{FrontierProfile, FrontierAcceptanceProfile, AndesProfile} {
+		orig := build()
+		data, err := MarshalProfile(&orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalProfile(data)
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if got.Name != orig.Name || got.Users != orig.Users ||
+			got.JobsPerDay != orig.JobsPerDay || len(got.Classes) != len(orig.Classes) {
+			t.Errorf("%s: header fields drifted", orig.Name)
+		}
+		if got.System.Name != orig.System.Name || got.System.Nodes != orig.System.Nodes {
+			t.Errorf("%s: system drifted", orig.Name)
+		}
+		// The round-tripped profile must generate the same workload.
+		start := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+		end := start.AddDate(0, 0, 3)
+		small := func(p Profile) Profile {
+			p.JobsPerDay, p.Users = 40, 20
+			return p
+		}
+		a, err := Generate([]Phase{{Profile: small(orig), Start: start, End: end}}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate([]Phase{{Profile: small(got), Start: start, End: end}}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: regenerated workload differs in size: %d vs %d", orig.Name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: request %d differs after round trip", orig.Name, i)
+			}
+		}
+	}
+}
+
+func TestProfileJSONAllDistKinds(t *testing.T) {
+	dists := []Dist{
+		Const(5),
+		Uniform{Lo: 1, Hi: 9},
+		LogNormal{Mu: 2, Sigma: 0.5},
+		Exponential{Mean: 30},
+		Clamped{D: LogNormal{Mu: 1, Sigma: 1}, Lo: 1, Hi: 100},
+		Mixture{Weights: []float64{1, 2}, Parts: []Dist{Const(1), Uniform{Lo: 2, Hi: 4}}},
+	}
+	for _, d := range dists {
+		j, err := marshalDist(d)
+		if err != nil {
+			t.Fatalf("%T: %v", d, err)
+		}
+		got, err := unmarshalDist(j)
+		if err != nil {
+			t.Fatalf("%T: %v", d, err)
+		}
+		// Same kind and same sampling behaviour under the same stream.
+		r1 := rand.New(rand.NewSource(7))
+		r2 := rand.New(rand.NewSource(7))
+		for i := 0; i < 50; i++ {
+			if d.Sample(r1) != got.Sample(r2) {
+				t.Fatalf("%T: sampling drifted after round trip", d)
+			}
+		}
+	}
+}
+
+func TestUnmarshalProfileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"garbage", "not json"},
+		{"unknown dist", `{"name":"x","system":null,"users":1,"jobs_per_day":1,
+			"classes":[{"name":"a","weight":1,
+			"nodes":{"kind":"mystery"},
+			"runtime":{"kind":"const","value":60},
+			"overestimate":{"kind":"const","value":2},
+			"steps":{"kind":"const","value":1}}]}`},
+		{"missing dist", `{"name":"x","system":null,"users":1,"jobs_per_day":1,
+			"classes":[{"name":"a","weight":1}]}`},
+		{"clamped no inner", `{"name":"x","system":null,"users":1,"jobs_per_day":1,
+			"classes":[{"name":"a","weight":1,
+			"nodes":{"kind":"clamped","lo":1,"hi":2},
+			"runtime":{"kind":"const","value":60},
+			"overestimate":{"kind":"const","value":2},
+			"steps":{"kind":"const","value":1}}]}`},
+		{"mixture mismatch", `{"name":"x","system":null,"users":1,"jobs_per_day":1,
+			"classes":[{"name":"a","weight":1,
+			"nodes":{"kind":"mixture","weights":[1],"parts":[]},
+			"runtime":{"kind":"const","value":60},
+			"overestimate":{"kind":"const","value":2},
+			"steps":{"kind":"const","value":1}}]}`},
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalProfile([]byte(c.json)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestSaveLoadProfileFile(t *testing.T) {
+	p := AndesProfile()
+	path := filepath.Join(t.TempDir(), "andes.json")
+	if err := SaveProfile(&p, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || got.System.Name != "andes" {
+		t.Errorf("loaded profile drifted: %s / %s", got.Name, got.System.Name)
+	}
+	if _, err := LoadProfile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestFittedProfileSerializes(t *testing.T) {
+	// Calibrated profiles (which use fitted lognormals) must round-trip
+	// too, closing the calibrate → save → regenerate loop.
+	trace := syntheticTrace(300)
+	p, err := FitProfile("fitted", AndesProfile().System, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalProfile(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalProfile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(got.Name, "fitted") || len(got.Classes) != len(p.Classes) {
+		t.Errorf("fitted profile drifted after round trip")
+	}
+}
