@@ -452,6 +452,48 @@ func BenchmarkWorkflowConcurrency(b *testing.B) {
 	}
 }
 
+// --- Scheduler core scaling ---
+
+// BenchmarkSchedulerScaling sweeps trace sizes on the Frontier profile and
+// measures the simulator core alone (no steps, no store): the number that
+// bounds every figure and ablation above. Tracked in BENCH_*.json; the
+// hot-path optimisations in internal/sched are accepted against this
+// benchmark (see EXPERIMENTS.md "Scheduler hot path").
+func BenchmarkSchedulerScaling(b *testing.B) {
+	start := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	for _, n := range []int{10_000, 50_000, 200_000} {
+		b.Run(fmt.Sprintf("reqs=%d", n), func(b *testing.B) {
+			// Constant submission pressure (~93% utilization, multi-hour
+			// queues on Frontier) with the window scaled to the trace size:
+			// larger traces mean proportionally longer replays over a
+			// standing queue, the regime where per-event cost matters.
+			// The profile expands chains/arrays to ~2.7 requests per
+			// nominal job, hence the 1600/day divisor.
+			p := tracegen.FrontierProfile()
+			p.JobsPerDay = 600
+			p.Users = 400
+			days := n / 1600
+			reqs, err := tracegen.Generate([]tracegen.Phase{{
+				Profile: p, Start: start, End: start.AddDate(0, 0, days),
+			}}, 11)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(reqs)), "requests")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim, err := sched.New(sched.DefaultConfig(cluster.Frontier()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(reqs, sched.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablations ---
 
 // BenchmarkAblationBackfillPolicy contrasts EASY backfill against a pure

@@ -41,6 +41,7 @@ func main() {
 		profile    = flag.String("profile", "", "JSON workload profile (overrides -system/-scenario)")
 		noSteps    = flag.Bool("no-steps", false, "skip step records (job-level trace only)")
 		noBackfill = flag.Bool("no-backfill", false, "disable EASY backfill in the simulator")
+		resort     = flag.Duration("resort-every", 0, "incremental re-prioritisation cadence (0 = exact per-pass recompute)")
 	)
 	flag.Parse()
 
@@ -102,6 +103,7 @@ func main() {
 
 	cfg := sched.DefaultConfig(sys)
 	cfg.EnableBackfill = !*noBackfill
+	cfg.ResortEvery = *resort
 	cfg.Seed = *seed
 	sim, err := sched.New(cfg)
 	if err != nil {

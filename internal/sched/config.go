@@ -51,6 +51,16 @@ type Config struct {
 	// FairShareHalfLife is the decay time constant of per-user usage.
 	FairShareHalfLife time.Duration
 
+	// ResortEvery sets the incremental re-prioritisation cadence. Zero
+	// (the default) recomputes every pending job's priority on every
+	// scheduling pass, matching legacy behaviour exactly. A positive
+	// cadence recomputes only jobs whose priority inputs changed (newly
+	// pending, user usage accrued, age term newly saturated) between
+	// full refreshes at this interval — an approximation that bounds
+	// priority staleness by the cadence and cuts per-pass cost on very
+	// deep queues.
+	ResortEvery time.Duration
+
 	// Seed drives the synthesis of per-step usage numbers.
 	Seed int64
 
@@ -102,6 +112,9 @@ func (c *Config) Validate() error {
 	if c.BackfillDepth < 0 {
 		return errors.New("sched: negative backfill depth")
 	}
+	if c.ResortEvery < 0 {
+		return errors.New("sched: negative re-sort cadence")
+	}
 	seen := map[string]bool{}
 	for _, r := range c.Reservations {
 		if r.Name == "" {
@@ -124,14 +137,24 @@ func (c *Config) Validate() error {
 // RunStats aggregates simulator-level outcomes for ablations and sanity
 // checks.
 type RunStats struct {
-	JobsCompleted   int
-	JobsFailed      int
-	JobsCancelled   int
-	JobsTimeout     int
-	JobsNodeFail    int
-	JobsOOM         int
-	Backfilled      int
-	NeverStarted    int // cancelled while pending
+	JobsCompleted int
+	JobsFailed    int
+	JobsCancelled int
+	JobsTimeout   int
+	JobsNodeFail  int
+	JobsOOM       int
+	Backfilled    int
+	NeverStarted  int // cancelled while pending
+
+	// TotalWait and MaxWait aggregate per-job queue wait, defined as the
+	// time a job spends eligible-but-pending, summed across scheduling
+	// segments. For a plain job this is start − submit. A dependent's
+	// wait starts at dependency release (its eligible time), not at
+	// submission. A preempted job opens a new segment at eviction: the
+	// time it spent running before the eviction is credited, never
+	// counted as wait — so wait = Σ(startᵢ − eligibleᵢ) over segments.
+	// TotalWait saturates at the int64 bound instead of overflowing on
+	// very large contended traces.
 	TotalWait       time.Duration
 	MaxWait         time.Duration
 	NodeSecondsBusy float64

@@ -1,12 +1,12 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 
+	"slurmsight/internal/cluster"
 	"slurmsight/internal/slurm"
 	"slurmsight/internal/tracegen"
 )
@@ -21,33 +21,42 @@ type job struct {
 	cancelAt time.Time // zero when no planned cancel
 	gen      int64     // bumped on preemption to invalidate stale end events
 
-	started  bool
-	finished bool
-	held     bool // waiting on a dependency
-	start    time.Time
-	end      time.Time
-	eligible time.Time
-	state    slurm.State
-	backfill bool
-	restarts int64
-	lost     time.Duration // runtime discarded by preemptions
-	reason   string
+	// Scheduling-invariant priority inputs, cached at submission so the
+	// per-pass recompute only touches the time-varying age and fair-share
+	// terms: static = Base + size term + QoS weight.
+	static      int64
+	canPreempt  bool
+	preemptible bool
+	usage       *userUsage // this job's user's fair-share accumulator
+
+	pendIdx int // position in s.pending, -1 when absent
+	runIdx  int // position in s.running, -1 when absent
+
+	// Incremental-reprioritisation bookkeeping (Config.ResortEvery > 0):
+	// prioAtNs is when priority was last computed (0 = never), userEpoch
+	// the usage epoch it saw, prioSat whether the age term had saturated.
+	prioAtNs  int64
+	userEpoch int64
+	prioSat   bool
+
+	started    bool
+	finished   bool
+	held       bool // waiting on a dependency
+	start      time.Time
+	end        time.Time
+	eligible   time.Time
+	eligNs     int64 // eligible as Unix ns, the hot-path age input
+	limitEndNs int64 // start + walltime limit (Unix ns), the running-heap key
+	state      slurm.State
+	backfill   bool
+	restarts   int64
+	lost       time.Duration // runtime discarded by preemptions
+	waited     time.Duration // eligible-but-pending time across scheduling segments
+	reason     string
 
 	depPred    *job   // afterok predecessor
 	dependents []*job // jobs held on this one
 	res        *resPool
-}
-
-// qosOf looks up a job's QoS definition (zero value when undefined).
-func (s *Simulator) qosOf(j *job) (q struct {
-	canPreempt  bool
-	preemptible bool
-}) {
-	if def, ok := s.cfg.System.QOSByName(j.req.QOS); ok {
-		q.canPreempt = def.CanPreempt
-		q.preemptible = def.Preemptible
-	}
-	return q
 }
 
 // nodeEquivalents converts a job's core allocation into fractional nodes
@@ -86,48 +95,59 @@ type event struct {
 	seq  int64
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].t.Equal(h[j].t) {
-		return h[i].t.Before(h[j].t)
-	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // userUsage tracks exponentially decayed node-seconds per user for the
-// fair-share factor.
+// fair-share factor. epoch bumps on every accrual; term memoises the
+// computed fair-share priority term for (termAtNs, termEpoch) so a pass
+// computes one Exp2 per user instead of one per pending job. Timestamps
+// are Unix ns (0 = unset; all simulated instants are far from the epoch).
 type userUsage struct {
-	value float64
-	asOf  time.Time
+	value  float64
+	asOfNs int64
+	epoch  int64
+
+	term      int64
+	termAtNs  int64
+	termEpoch int64
 }
 
 // Simulator executes submissions against a cluster model.
 type Simulator struct {
 	cfg       Config
 	freeCores int
-	pending   []*job
-	running   []*job
+	pending   []pendEntry // position-tracked; heap-ordered only during a pass
+	npending  int         // pending jobs across all pass-time containers
+	running   []*job      // min-heap on (limitEnd, seq)
 	usage     map[string]*userUsage
-	events    eventHeap
+	qosDefs   map[string]cluster.QOS
+	events    []event
 	seq       int64
 	now       time.Time
 	stats     RunStats
 	resPools  []*resPool
 	resByName map[string]*resPool
+
+	// schedDirty is cleared when a pass runs and set by any event that
+	// frees capacity, adds pending work, or moves a reservation window;
+	// no-op events (stale ends, cancels of started jobs, held submits)
+	// leave it unset and the pass is skipped.
+	schedDirty bool
+	// lastPassT is the latest drained timestamp with pending work: the
+	// moment the legacy pass would last have rewritten every pending
+	// job's priority (see the evCancel handler).
+	lastPassT  time.Time
+	lastReprio time.Time // last full recompute (ResortEvery cadence)
+
+	// Reusable pass-time buffers.
+	appended  []*job // preemption victims requeued mid-pass, FIFO
+	appCursor int
+	keep      []*job      // examined but not started this pass
+	resBuf    []pendEntry // reservation-tagged subset
+	shadowBuf []*job      // scratch copy of the running heap
+	victimBuf []*job
+
+	share   float64 // fair-share nominal usage scale
+	ageFull int64   // age term at saturation
+	halfF   float64 // FairShareHalfLife as float ns, the decay divisor
 }
 
 // New builds a simulator; the configuration is validated.
@@ -136,10 +156,18 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{
-		cfg:       cfg,
-		freeCores: int(cfg.System.TotalCores()),
-		usage:     map[string]*userUsage{},
-		resByName: map[string]*resPool{},
+		cfg:        cfg,
+		freeCores:  int(cfg.System.TotalCores()),
+		usage:      map[string]*userUsage{},
+		qosDefs:    make(map[string]cluster.QOS, len(cfg.System.QOSLevels)),
+		resByName:  map[string]*resPool{},
+		schedDirty: true,
+		share:      float64(cfg.System.Nodes) * cfg.FairShareHalfLife.Seconds() / 64,
+		ageFull:    int64(float64(cfg.AgeWeight)),
+		halfF:      float64(cfg.FairShareHalfLife),
+	}
+	for _, q := range cfg.System.QOSLevels {
+		s.qosDefs[q.Name] = q
 	}
 	for _, def := range cfg.Reservations {
 		rp := &resPool{def: def}
@@ -179,6 +207,7 @@ func (s *Simulator) Run(reqs []tracegen.Request, opts Options) (*Result, error) 
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("sched: no requests")
 	}
+	arena := make([]job, len(reqs)) // one allocation for every job
 	jobs := make([]*job, len(reqs))
 	arrayBase := map[int64]int64{} // tracegen array group → base job id
 	order := make([]int, len(reqs))
@@ -188,6 +217,7 @@ func (s *Simulator) Run(reqs []tracegen.Request, opts Options) (*Result, error) 
 	sort.SliceStable(order, func(a, b int) bool {
 		return reqs[order[a]].Submit.Before(reqs[order[b]].Submit)
 	})
+	s.events = make([]event, 0, 2*len(reqs)+2*len(s.resPools))
 	const firstID = 100000
 	byChain := map[chainKey]*job{}
 	for n, idx := range order {
@@ -212,7 +242,22 @@ func (s *Simulator) Run(reqs []tracegen.Request, opts Options) (*Result, error) 
 			// Without node sharing, a sub-node request occupies the
 			// whole node (cores already equals one node's worth).
 		}
-		j := &job{seq: int64(n), req: r, cores: cores, state: slurm.StatePending, eligible: r.Submit}
+		j := &arena[n]
+		*j = job{seq: int64(n), req: r, cores: cores, state: slurm.StatePending,
+			eligible: r.Submit, eligNs: r.Submit.UnixNano(), pendIdx: -1, runIdx: -1}
+		sizef := float64(j.cores) / float64(s.cfg.System.TotalCores())
+		j.static = s.cfg.Base + int64(float64(s.cfg.SizeWeight)*sizef)
+		if q, ok := s.qosDefs[r.QOS]; ok {
+			j.static += q.PriorityWeight
+			j.canPreempt = q.CanPreempt
+			j.preemptible = q.Preemptible
+		}
+		u, ok := s.usage[r.User]
+		if !ok {
+			u = &userUsage{asOfNs: r.Submit.UnixNano()}
+			s.usage[r.User] = u
+		}
+		j.usage = u
 		jobID := int64(firstID + n)
 		j.id = slurm.NewJobID(jobID)
 		if r.ArrayID != 0 {
@@ -238,9 +283,9 @@ func (s *Simulator) Run(reqs []tracegen.Request, opts Options) (*Result, error) 
 			byChain[chainKey{r.Chain, r.ChainPos}] = j
 		}
 		jobs[n] = j
-		heap.Push(&s.events, event{t: r.Submit, kind: evSubmit, j: j, seq: s.nextSeq()})
+		s.pushEvent(event{t: r.Submit, kind: evSubmit, j: j, seq: s.nextSeq()})
 		if !j.cancelAt.IsZero() {
-			heap.Push(&s.events, event{t: j.cancelAt, kind: evCancel, j: j, seq: s.nextSeq()})
+			s.pushEvent(event{t: j.cancelAt, kind: evCancel, j: j, seq: s.nextSeq()})
 		}
 	}
 	// Wire dependency chains: each position waits on the previous one.
@@ -256,27 +301,34 @@ func (s *Simulator) Run(reqs []tracegen.Request, opts Options) (*Result, error) 
 		pred.dependents = append(pred.dependents, j)
 	}
 	for _, rp := range s.resPools {
-		heap.Push(&s.events, event{t: rp.def.Start, kind: evResStart, res: rp, seq: s.nextSeq()})
-		heap.Push(&s.events, event{t: rp.def.End, kind: evResEnd, res: rp, seq: s.nextSeq()})
+		s.pushEvent(event{t: rp.def.Start, kind: evResStart, res: rp, seq: s.nextSeq()})
+		s.pushEvent(event{t: rp.def.End, kind: evResEnd, res: rp, seq: s.nextSeq()})
 	}
 
 	first := jobs[0].req.Submit
 	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(event)
+		e := s.popEvent()
 		t := e.t
 		s.now = t
 		s.handle(e)
 		// Drain every event at this instant before scheduling.
 		for len(s.events) > 0 && s.events[0].t.Equal(t) {
-			s.handle(heap.Pop(&s.events).(event))
+			s.handle(s.popEvent())
 		}
 		s.schedule(t)
+		if s.npending > 0 {
+			s.lastPassT = t
+		}
 	}
+	// Skipped passes defer priority writes; pending jobs' records must
+	// carry the value the last pass would have written.
+	s.reprioritize(s.now, true)
 
 	// Anything still pending at drain time never had resources; that
 	// cannot happen with a consistent request stream, but guard anyway.
 	var last time.Time
-	for _, j := range s.pending {
+	for i := range s.pending {
+		j := s.pending[i].j
 		j.finished = true
 		j.state = slurm.StateCancelled
 		j.end = s.now
@@ -284,6 +336,7 @@ func (s *Simulator) Run(reqs []tracegen.Request, opts Options) (*Result, error) 
 		s.stats.NeverStarted++
 	}
 	s.pending = nil
+	s.npending = 0
 	// Held jobs whose predecessors never resolved are likewise cancelled.
 	for _, j := range jobs {
 		if !j.finished && j.held {
@@ -326,7 +379,9 @@ func (s *Simulator) handle(e event) {
 			s.cancelForDependency(j, e.t)
 			return
 		}
-		s.pending = append(s.pending, j)
+		s.pendAdd(j)
+		s.npending++
+		s.schedDirty = true
 	case evCancel:
 		j := e.j
 		if j.started || j.finished {
@@ -337,8 +392,18 @@ func (s *Simulator) handle(e event) {
 		j.end = e.t
 		s.stats.JobsCancelled++
 		s.stats.NeverStarted++
-		if !j.held {
-			s.removePending(j)
+		if !j.held && j.pendIdx >= 0 {
+			// The legacy pass rewrote every pending priority at each
+			// drained timestamp; with skipped passes the record must
+			// still carry the value from the last pass before the
+			// cancel (cancellations sort first, so that pass is at an
+			// earlier timestamp and usage has not decayed past it).
+			if !s.lastPassT.IsZero() {
+				j.priority = s.priorityAt(j, s.lastPassT)
+			}
+			s.pendRemove(j)
+			s.npending--
+			s.schedDirty = true
 		}
 		// Dependents of a cancelled job never run.
 		for _, d := range j.dependents {
@@ -351,14 +416,16 @@ func (s *Simulator) handle(e event) {
 		}
 		j.finished = true
 		s.releaseNodes(j)
-		s.removeRunning(j)
+		s.runRemove(j)
 		s.accrueUsage(j)
 		s.countOutcome(j)
 		s.resolveDependents(j, e.t)
+		s.schedDirty = true
 	case evResStart:
 		rp := e.res
 		rp.active = true
 		s.refillReservations()
+		s.schedDirty = true
 	case evResEnd:
 		rp := e.res
 		rp.active = false
@@ -366,11 +433,12 @@ func (s *Simulator) handle(e event) {
 		rp.free, rp.carved = 0, 0
 		// Pending jobs that targeted the window fall back to the general
 		// pool.
-		for _, j := range s.pending {
-			if j.res == rp {
+		for i := range s.pending {
+			if j := s.pending[i].j; j.res == rp {
 				j.res = nil
 			}
 		}
+		s.schedDirty = true
 	}
 }
 
@@ -415,7 +483,10 @@ func (s *Simulator) resolveDependents(j *job, t time.Time) {
 			if d.held {
 				d.held = false
 				d.eligible = t
-				s.pending = append(s.pending, d)
+				d.eligNs = t.UnixNano()
+				s.pendAdd(d)
+				s.npending++
+				s.schedDirty = true
 			}
 			continue
 		}
@@ -424,7 +495,8 @@ func (s *Simulator) resolveDependents(j *job, t time.Time) {
 }
 
 // cancelForDependency terminally cancels a job whose upstream failed, and
-// cascades to its own dependents.
+// cascades to its own dependents. Such jobs are held or not yet
+// submitted, never in the pending set.
 func (s *Simulator) cancelForDependency(j *job, t time.Time) {
 	if j.finished {
 		return
@@ -442,29 +514,14 @@ func (s *Simulator) cancelForDependency(j *job, t time.Time) {
 	}
 }
 
-func (s *Simulator) removePending(j *job) {
-	for i, p := range s.pending {
-		if p == j {
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			return
-		}
-	}
-}
-
-func (s *Simulator) removeRunning(j *job) {
-	for i, p := range s.running {
-		if p == j {
-			s.running = append(s.running[:i], s.running[i+1:]...)
-			return
-		}
-	}
-}
-
 func (s *Simulator) countOutcome(j *job) {
 	elapsed := j.end.Sub(j.start)
 	s.stats.NodeSecondsBusy += s.nodeEquivalents(j) * elapsed.Seconds()
-	wait := j.start.Sub(j.req.Submit)
-	s.stats.TotalWait += wait
+	// j.waited accumulates start−eligible per scheduling segment, so a
+	// preempted job's earlier run time is never mistaken for queue wait
+	// and a dependent's held time never counts (see RunStats.TotalWait).
+	wait := j.waited
+	s.stats.TotalWait = satAddDuration(s.stats.TotalWait, wait)
 	if wait > s.stats.MaxWait {
 		s.stats.MaxWait = wait
 	}
@@ -487,34 +544,46 @@ func (s *Simulator) countOutcome(j *job) {
 	}
 }
 
+// decayUser steps a user's usage decay forward to tNs (Unix ns) and
+// returns the value. The ns difference equals Time.Sub exactly, so the
+// float stepping matches the Time-based form bit for bit.
+func (s *Simulator) decayUser(u *userUsage, tNs int64) float64 {
+	dt := tNs - u.asOfNs
+	if dt <= 0 {
+		return u.value
+	}
+	u.value *= math.Exp2(-(float64(dt) / s.halfF))
+	u.asOfNs = tNs
+	return u.value
+}
+
 // decayedUsage returns the user's usage decayed to time t.
 func (s *Simulator) decayedUsage(user string, t time.Time) float64 {
 	u, ok := s.usage[user]
 	if !ok {
 		return 0
 	}
-	dt := t.Sub(u.asOf)
-	if dt <= 0 {
-		return u.value
-	}
-	halves := float64(dt) / float64(s.cfg.FairShareHalfLife)
-	u.value *= math.Exp2(-halves)
-	u.asOf = t
-	return u.value
+	return s.decayUser(u, t.UnixNano())
 }
 
 func (s *Simulator) accrueUsage(j *job) {
 	u, ok := s.usage[j.req.User]
 	if !ok {
-		u = &userUsage{asOf: j.end}
+		u = &userUsage{asOfNs: j.end.UnixNano()}
 		s.usage[j.req.User] = u
 	}
-	s.decayedUsage(j.req.User, j.end)
+	s.decayUser(u, j.end.UnixNano())
 	u.value += s.nodeEquivalents(j) * j.end.Sub(j.start).Seconds()
+	u.epoch++
 }
 
-// priorityAt computes the multifactor priority for a pending job. Age
-// accrues from eligibility (held dependents only age once released).
+// priorityAt computes the multifactor priority for a pending job from
+// scratch. Age accrues from eligibility (held dependents only age once
+// released). The scheduling pass uses the decomposed fast path
+// (job.static + ageTerm + fairTerm); this reference form stays
+// self-contained for record priorities and tests, and the two agree
+// exactly: each term is truncated to int64 separately, and int64 addition
+// is associative.
 func (s *Simulator) priorityAt(j *job, t time.Time) int64 {
 	cfg := &s.cfg
 	age := t.Sub(j.eligible)
@@ -526,11 +595,9 @@ func (s *Simulator) priorityAt(j *job, t time.Time) int64 {
 		agef = 0
 	}
 	sizef := float64(j.cores) / float64(cfg.System.TotalCores())
-	// Nominal share: 1/64th of the machine over one half-life.
-	share := float64(cfg.System.Nodes) * cfg.FairShareHalfLife.Seconds() / 64
-	fairf := math.Exp2(-s.decayedUsage(j.req.User, t) / share)
+	fairf := math.Exp2(-s.decayedUsage(j.req.User, t) / s.share)
 	var qosW int64
-	if q, ok := cfg.System.QOSByName(j.req.QOS); ok {
+	if q, ok := s.qosDefs[j.req.QOS]; ok {
 		qosW = q.PriorityWeight
 	}
 	return cfg.Base +
@@ -540,96 +607,221 @@ func (s *Simulator) priorityAt(j *job, t time.Time) int64 {
 		qosW
 }
 
+// ageTerm computes the age factor's contribution from an age in ns,
+// saturating at AgeMax.
+func (s *Simulator) ageTerm(age int64) int64 {
+	if age <= 0 {
+		return 0
+	}
+	if age >= int64(s.cfg.AgeMax) {
+		return s.ageFull
+	}
+	return int64(float64(s.cfg.AgeWeight) * (float64(age) / float64(s.cfg.AgeMax)))
+}
+
+// fairTerm computes the fair-share contribution for a user at tNs,
+// memoised per (timestamp, accrual epoch) so each pass pays one Exp2 per
+// user rather than one per pending job.
+func (s *Simulator) fairTerm(u *userUsage, tNs int64) int64 {
+	if u.termAtNs == tNs && u.termEpoch == u.epoch {
+		return u.term
+	}
+	f := math.Exp2(-s.decayUser(u, tNs) / s.share)
+	u.term = int64(float64(s.cfg.FairShareWeight) * f)
+	u.termAtNs, u.termEpoch = tNs, u.epoch
+	return u.term
+}
+
+// reprioritize refreshes pending priorities at time t. With ResortEvery
+// unset (the default) every job is recomputed, reproducing the legacy
+// per-pass recompute exactly. With a cadence set, only jobs whose inputs
+// changed — newly pending or evicted (prioAtNs zero), user usage accrued
+// (epoch moved), or age term newly saturated — are recomputed between
+// full refreshes, trading bounded priority staleness for O(changed) work.
+func (s *Simulator) reprioritize(t time.Time, force bool) {
+	tNs := t.UnixNano()
+	full := force || s.cfg.ResortEvery == 0 || s.lastReprio.IsZero() ||
+		t.Sub(s.lastReprio) >= s.cfg.ResortEvery
+	if full {
+		s.lastReprio = t
+	}
+	if full && !force && s.cfg.ResortEvery == 0 {
+		// Exact-mode hot loop: the refreshed keys are consumed only by
+		// this pass's heap, so skip the per-job bookkeeping writes and
+		// stream over the contiguous entry array alone.
+		for i := range s.pending {
+			e := &s.pending[i]
+			e.prio = e.static + s.ageTerm(tNs-e.eligNs) + s.fairTerm(e.usage, tNs)
+		}
+		return
+	}
+	ageMax := int64(s.cfg.AgeMax)
+	for i := range s.pending {
+		e := &s.pending[i]
+		j := e.j
+		if !full && j.prioAtNs != 0 && j.userEpoch == e.usage.epoch {
+			if j.prioSat || tNs-e.eligNs < ageMax {
+				continue
+			}
+		}
+		age := tNs - e.eligNs
+		e.prio = e.static + s.ageTerm(age) + s.fairTerm(e.usage, tNs)
+		j.priority = e.prio
+		j.prioAtNs = tNs
+		j.userEpoch = e.usage.epoch
+		j.prioSat = age >= ageMax
+	}
+}
+
 // schedule runs the reservation pass, the main priority loop (with urgent
 // preemption), and the EASY backfill pass at time t.
 func (s *Simulator) schedule(t time.Time) {
-	if len(s.pending) == 0 {
+	if s.npending == 0 {
 		return
 	}
-	for _, j := range s.pending {
-		j.priority = s.priorityAt(j, t)
-	}
-	sort.SliceStable(s.pending, func(a, b int) bool {
-		pa, pb := s.pending[a], s.pending[b]
-		if pa.priority != pb.priority {
-			return pa.priority > pb.priority
+	if !s.schedDirty {
+		// Nothing this timestamp freed capacity or added work, so the
+		// pass would start nothing. The legacy pass still stepped each
+		// pending user's fair-share decay here; keep that float
+		// stepping identical so later terms match bit for bit.
+		tNs := t.UnixNano()
+		for i := range s.pending {
+			s.decayUser(s.pending[i].usage, tNs)
 		}
-		return pa.seq < pb.seq
-	})
+		return
+	}
+	s.schedDirty = false
+	s.reprioritize(t, false)
+	if len(s.resPools) > 0 {
+		s.reservationPass(t)
+	}
+	s.heapifyPending()
+	head := s.mainPass(t)
+	if head != nil && s.cfg.EnableBackfill && s.npending > 1 {
+		s.backfillPass(head, t)
+	}
+	s.finishPass(head)
+}
 
-	// Reservation pass: tagged jobs draw from their carved pool and never
-	// block the general head.
-	kept := s.pending[:0]
-	for _, j := range s.pending {
-		if j.res != nil && s.canStartInReservation(j, t) {
+// reservationPass starts reservation-tagged jobs that fit their window, in
+// priority order over the tagged subset (their relative order in the old
+// full sort).
+func (s *Simulator) reservationPass(t time.Time) {
+	s.resBuf = s.resBuf[:0]
+	for i := range s.pending {
+		if s.pending[i].j.res != nil {
+			s.resBuf = append(s.resBuf, s.pending[i])
+		}
+	}
+	if len(s.resBuf) == 0 {
+		return
+	}
+	sort.Slice(s.resBuf, func(a, b int) bool { return pendBefore(&s.resBuf[a], &s.resBuf[b]) })
+	for i := range s.resBuf {
+		j := s.resBuf[i].j
+		if s.canStartInReservation(j, t) {
+			s.pendRemove(j)
 			s.startJob(j, t, false)
-			continue
 		}
-		kept = append(kept, j)
 	}
-	s.pending = kept
+}
 
-	// Main loop: start in priority order until the head does not fit.
-	// Reservation-tagged jobs wait for their window without blocking.
-	var head *job
-	i := 0
-	for i < len(s.pending) {
-		j := s.pending[i]
+// nextPending yields jobs in scheduling order: the pending heap first,
+// then preemption victims requeued during this pass in eviction order
+// (they joined the tail of the old sorted slice mid-iteration).
+func (s *Simulator) nextPending() *job {
+	if len(s.pending) > 0 {
+		return s.pendPop()
+	}
+	if s.appCursor < len(s.appended) {
+		j := s.appended[s.appCursor]
+		s.appCursor++
+		return j
+	}
+	return nil
+}
+
+// mainPass starts jobs in priority order until the head does not fit,
+// and returns that blocking head (nil when everything started).
+// Reservation-tagged jobs wait for their window without blocking.
+func (s *Simulator) mainPass(t time.Time) *job {
+	for {
+		j := s.nextPending()
+		if j == nil {
+			return nil
+		}
 		if j.res != nil {
-			i++
+			s.keep = append(s.keep, j)
 			continue
 		}
 		if j.cores <= s.freeCores {
 			s.startJob(j, t, false)
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
 			continue
 		}
 		// Urgent QoS may evict preemptible work instead of queueing.
-		if s.qosOf(j).canPreempt && s.tryPreempt(j, t) {
+		if j.canPreempt && s.tryPreempt(j, t) {
 			s.startJob(j, t, false)
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
 			continue
 		}
-		head = j
-		break
+		return j
 	}
-	if head == nil || !s.cfg.EnableBackfill || len(s.pending) <= 1 {
-		return
-	}
+}
 
-	// EASY backfill: find the shadow time at which the head can start,
-	// assuming running jobs end at their walltime limits, then start
-	// lower-priority jobs that cannot delay it.
-	shadow, extra := s.shadowTime(head, t)
+// backfillPass implements EASY backfill: find the shadow time at which the
+// head can start, assuming running jobs end at their walltime limits, then
+// start lower-priority jobs that cannot delay it.
+func (s *Simulator) backfillPass(head *job, t time.Time) {
+	tNs := t.UnixNano()
+	shadowNs, extra := s.shadowTime(head, tNs)
 	free := s.freeCores
 	depth := s.cfg.BackfillDepth
 	if depth == 0 {
-		depth = len(s.pending)
+		depth = s.npending
 	}
-	kept = s.pending[:0]
 	considered := 0
-	for _, j := range s.pending {
-		if j == head || j.res != nil || j.cores > free || considered >= depth {
-			kept = append(kept, j)
-			if j != head && j.res == nil {
-				considered++
-			}
+	for considered < depth {
+		j := s.nextPending()
+		if j == nil {
+			return
+		}
+		if j.res != nil {
+			s.keep = append(s.keep, j)
 			continue
 		}
 		considered++
-		endsBy := t.Add(j.req.Timelimit)
+		if j.cores > free {
+			s.keep = append(s.keep, j)
+			continue
+		}
+		endsByNs := tNs + int64(j.req.Timelimit)
 		fitsExtra := j.cores <= extra
-		if !endsBy.After(shadow) || fitsExtra {
+		if endsByNs <= shadowNs || fitsExtra {
 			s.startJob(j, t, true)
 			free -= j.cores
-			if endsBy.After(shadow) && fitsExtra {
+			if endsByNs > shadowNs && fitsExtra {
 				extra -= j.cores
 			}
 			continue
 		}
-		kept = append(kept, j)
+		s.keep = append(s.keep, j)
 	}
-	s.pending = kept
+}
+
+// finishPass returns every examined-but-unstarted job to the pending
+// array and resets the pass buffers.
+func (s *Simulator) finishPass(head *job) {
+	for _, j := range s.keep {
+		s.pendAdd(j)
+	}
+	if head != nil {
+		s.pendAdd(head)
+	}
+	for _, j := range s.appended[s.appCursor:] {
+		s.pendAdd(j)
+	}
+	s.keep = s.keep[:0]
+	s.appended = s.appended[:0]
+	s.appCursor = 0
 }
 
 // canStartInReservation reports whether a tagged job fits its window now.
@@ -650,13 +842,20 @@ func (s *Simulator) tryPreempt(urgent *job, t time.Time) bool {
 	if needed <= 0 {
 		return true
 	}
-	var victims []*job
+	victims := s.victimBuf[:0]
 	for _, j := range s.running {
-		if j.res == nil && s.qosOf(j).preemptible {
+		if j.res == nil && j.preemptible {
 			victims = append(victims, j)
 		}
 	}
-	sort.Slice(victims, func(a, b int) bool { return victims[a].start.After(victims[b].start) })
+	sort.Slice(victims, func(a, b int) bool {
+		va, vb := victims[a], victims[b]
+		if !va.start.Equal(vb.start) {
+			return va.start.After(vb.start)
+		}
+		return va.seq < vb.seq
+	})
+	s.victimBuf = victims
 	freed := 0
 	cut := 0
 	for _, v := range victims {
@@ -675,11 +874,13 @@ func (s *Simulator) tryPreempt(urgent *job, t time.Time) bool {
 	return true
 }
 
-// evict requeues a running preemptible job.
+// evict requeues a running preemptible job. The victim joins the FIFO
+// tail of this pass (it re-enters consideration after every job already
+// queued) and the pending array at pass end.
 func (s *Simulator) evict(v *job, t time.Time) {
 	v.gen++ // invalidate the scheduled end event
 	s.freeCores += v.cores
-	s.removeRunning(v)
+	s.runRemove(v)
 	ran := t.Sub(v.start)
 	v.lost += ran
 	v.restarts++
@@ -687,8 +888,13 @@ func (s *Simulator) evict(v *job, t time.Time) {
 	v.backfill = false
 	v.state = slurm.StatePending
 	v.eligible = t
+	v.eligNs = t.UnixNano()
 	v.reason = "Preempted"
-	s.pending = append(s.pending, v)
+	v.prioAtNs = 0
+	v.prioSat = false
+	s.appended = append(s.appended, v)
+	s.npending++
+	s.schedDirty = true
 	s.stats.Preemptions++
 	s.stats.PreemptedLost += ran
 	// The partial run still consumed the machine.
@@ -698,34 +904,45 @@ func (s *Simulator) evict(v *job, t time.Time) {
 // shadowTime computes when the head job could start if running jobs end
 // at their limits, and how many nodes beyond the head's need will be free
 // then. Reservation-pool jobs are excluded: their nodes return to the
-// reservation, not the general pool.
-func (s *Simulator) shadowTime(head *job, t time.Time) (time.Time, int) {
-	type rel struct {
-		at    time.Time
-		nodes int
+// reservation, not the general pool. Releases are consumed in limit order
+// from a scratch copy of the running heap (a copy of a heap is a heap),
+// popping only until the head fits instead of sorting every running job.
+func (s *Simulator) shadowTime(head *job, tNs int64) (int64, int) {
+	if cap(s.shadowBuf) < len(s.running) {
+		s.shadowBuf = make([]*job, len(s.running))
 	}
-	rels := make([]rel, 0, len(s.running))
-	for _, j := range s.running {
+	buf := s.shadowBuf[:len(s.running)]
+	copy(buf, s.running)
+	free := s.freeCores
+	for len(buf) > 0 {
+		var j *job
+		j, buf = shadowPop(buf)
 		if j.res != nil {
 			continue
 		}
-		limitEnd := j.start.Add(j.req.Timelimit)
-		if limitEnd.Before(t) {
-			limitEnd = t
+		at := j.limitEndNs
+		if at < tNs {
+			at = tNs // defensive; a running job's limit cannot precede now
 		}
-		rels = append(rels, rel{at: limitEnd, nodes: j.cores})
-	}
-	sort.Slice(rels, func(a, b int) bool { return rels[a].at.Before(rels[b].at) })
-	free := s.freeCores
-	for _, r := range rels {
-		free += r.nodes
+		free += j.cores
 		if free >= head.cores {
-			return r.at, free - head.cores
+			return at, free - head.cores
 		}
 	}
 	// Head can never start under current limits (should not happen when
 	// requests respect the system size); treat as unbounded shadow.
-	return t.Add(1000000 * time.Hour), int(s.cfg.System.TotalCores())
+	return tNs + int64(1000000*time.Hour), int(s.cfg.System.TotalCores())
+}
+
+// satAddDuration sums non-negative durations, saturating at the int64
+// bound: very large contended traces can accumulate more than ~292 years
+// of total wait, and a clamped aggregate beats a silently negative one.
+func satAddDuration(a, b time.Duration) time.Duration {
+	c := a + b
+	if c < a {
+		return time.Duration(math.MaxInt64)
+	}
+	return c
 }
 
 // startJob dispatches a job at time t and schedules its end event.
@@ -733,7 +950,10 @@ func (s *Simulator) startJob(j *job, t time.Time, backfill bool) {
 	j.started = true
 	j.backfill = backfill
 	j.start = t
+	j.waited += t.Sub(j.eligible)
 	j.priority = s.priorityAt(j, t)
+	j.limitEndNs = t.UnixNano() + int64(j.req.Timelimit)
+	s.npending--
 	if j.res != nil && j.res.active {
 		j.res.free -= j.cores
 		s.stats.ReservationStarts++
@@ -741,11 +961,11 @@ func (s *Simulator) startJob(j *job, t time.Time, backfill bool) {
 		j.res = nil // window closed between sort and start
 		s.freeCores -= j.cores
 	}
-	s.running = append(s.running, j)
+	s.runAdd(j)
 
 	end, state := s.terminalOutcome(j, t)
 	j.end, j.state = end, state
-	heap.Push(&s.events, event{t: end, kind: evEnd, j: j, gen: j.gen, seq: s.nextSeq()})
+	s.pushEvent(event{t: end, kind: evEnd, j: j, gen: j.gen, seq: s.nextSeq()})
 }
 
 // terminalOutcome resolves when and how a started job ends.
