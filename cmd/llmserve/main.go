@@ -5,6 +5,12 @@
 // Example:
 //
 //	llmserve -addr :9090 -key sk-local-dev
+//
+// A fault-injection mode turns the server into a deliberately flaky
+// upstream for exercising the workflow's retry layer:
+//
+//	llmserve -addr :9090 -key sk-local-dev \
+//	  -fault-429 0.2 -fault-500 0.1 -fault-stall 0.05 -fault-seed 7
 package main
 
 import (
@@ -23,14 +29,37 @@ func main() {
 		key   = flag.String("key", "", "API key (empty disables auth)")
 		rate  = flag.Float64("rate", 10, "requests per second per key (0 disables limiting)")
 		burst = flag.Float64("burst", 20, "rate-limit burst size")
+
+		fault429   = flag.Float64("fault-429", 0, "probability of an injected 429 per request")
+		fault500   = flag.Float64("fault-500", 0, "probability of an injected 500 per request")
+		faultStall = flag.Float64("fault-stall", 0, "probability of a stalled response per request")
+		stallFor   = flag.Duration("fault-stall-for", 2*time.Second, "how long a stalled response hangs")
+		retryAfter = flag.Duration("fault-retry-after", time.Second, "Retry-After hint on injected 429s")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for the fault schedule")
 	)
 	flag.Parse()
 
-	server := newServer(*key, *rate, *burst)
+	server, faults := newServer(serverConfig{
+		key:        *key,
+		rate:       *rate,
+		burst:      *burst,
+		fault429:   *fault429,
+		fault500:   *fault500,
+		faultStall: *faultStall,
+		stallFor:   *stallFor,
+		retryAfter: *retryAfter,
+		faultSeed:  *faultSeed,
+	})
+	handler := server.Handler()
+	if faults.Active() {
+		log.Printf("fault injection on: 429=%.2f 500=%.2f stall=%.2f (seed %d)",
+			*fault429, *fault500, *faultStall, *faultSeed)
+		handler = faults.Middleware(handler)
+	}
 	log.Printf("serving the %s analyst on %s", server.ModelName, *addr)
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           server.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Fatal(httpServer.ListenAndServe())

@@ -1,16 +1,38 @@
 package main
 
-import "slurmsight/internal/llm"
+import (
+	"time"
 
-// newServer configures the analyst endpoint from flags.
-func newServer(key string, rate, burst float64) *llm.Server {
+	"slurmsight/internal/llm"
+)
+
+// serverConfig collects the flag values behind the endpoint.
+type serverConfig struct {
+	key         string
+	rate, burst float64
+
+	fault429, fault500, faultStall float64
+	stallFor, retryAfter           time.Duration
+	faultSeed                      int64
+}
+
+// newServer configures the analyst endpoint and its fault policy.
+func newServer(cfg serverConfig) (*llm.Server, *llm.FaultPolicy) {
 	var server *llm.Server
-	if key != "" {
-		server = llm.NewServer(key)
+	if cfg.key != "" {
+		server = llm.NewServer(cfg.key)
 	} else {
 		server = llm.NewServer()
 	}
-	server.RatePerSec = rate
-	server.Burst = burst
-	return server
+	server.RatePerSec = cfg.rate
+	server.Burst = cfg.burst
+	faults := &llm.FaultPolicy{
+		Rate429:    cfg.fault429,
+		Rate500:    cfg.fault500,
+		RateStall:  cfg.faultStall,
+		StallFor:   cfg.stallFor,
+		RetryAfter: cfg.retryAfter,
+		Seed:       cfg.faultSeed,
+	}
+	return server, faults
 }

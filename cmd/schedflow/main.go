@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +27,7 @@ import (
 
 	"slurmsight/internal/core"
 	"slurmsight/internal/dashboard"
+	"slurmsight/internal/dataflow"
 	"slurmsight/internal/llm"
 	"slurmsight/internal/sacct"
 )
@@ -47,6 +49,14 @@ func main() {
 		enableAI = flag.Bool("ai", false, "run the LLM insight/compare subworkflow")
 		llmURL   = flag.String("llm-url", "", "LLM endpoint base URL (required with -ai)")
 		llmKey   = flag.String("llm-key", "", "LLM API key")
+
+		taskAttempts = flag.Int("task-attempts", 1, "attempts per workflow task (1 = no retries)")
+		taskTimeout  = flag.Duration("task-timeout", 0, "per-attempt task timeout (0 = none)")
+		taskBackoff  = flag.Duration("task-backoff", 250*time.Millisecond, "initial delay between task retries")
+		continueOn   = flag.Bool("continue-on-error", false,
+			"keep independent branches running past a failed task and report every failure")
+		llmRetries = flag.Int("llm-retries", -1, "LLM client retries (-1 = default 3, 0 = none)")
+		llmBackoff = flag.Duration("llm-backoff", 0, "initial LLM retry backoff (0 = client default)")
 		serve    = flag.String("serve", "", "serve the dashboard at this address after the run")
 		extended = flag.Bool("extended", false, "add operator figures (load timeline, queue depth)")
 		nodes    = flag.Int("nodes", 0, "system node capacity for utilization summaries")
@@ -86,23 +96,41 @@ func main() {
 		EnableAI:        *enableAI,
 		ExtendedFigures: *extended,
 		SystemNodes:     *nodes,
+		TaskAttempts:    *taskAttempts,
+		TaskTimeout:     *taskTimeout,
+		TaskBackoff:     *taskBackoff,
+		ContinueOnError: *continueOn,
 	}
 	if *enableAI {
 		if *llmURL == "" {
 			log.Fatal("-ai requires -llm-url")
 		}
-		cfg.LLM = llm.NewClient(*llmURL, *llmKey)
+		client := llm.NewClient(*llmURL, *llmKey)
+		client.MaxRetries = *llmRetries
+		if *llmBackoff > 0 {
+			client.Backoff = *llmBackoff
+		}
+		cfg.LLM = client
 	}
 
 	t0 := time.Now()
 	art, err := core.Run(context.Background(), cfg)
-	if err != nil {
+	var runErr *dataflow.RunError
+	if errors.As(err, &runErr) {
+		for _, e := range runErr.Errs {
+			log.Printf("warning: %v", e)
+		}
+		log.Printf("warning: %d stages failed; continuing with the surviving branches", len(runErr.Errs))
+	} else if err != nil {
 		log.Fatal(err)
 	}
+	ok, failed, skipped, retried := art.Trace.Counts()
 	log.Printf("workflow complete in %s: %d records curated (%d malformed dropped), "+
 		"%d figures, max stage concurrency %d",
 		time.Since(t0).Round(time.Millisecond), art.Records,
 		art.Curation.Malformed, len(art.Figures), art.Trace.MaxConcurrency)
+	log.Printf("stages: %d ok, %d failed, %d skipped, %d retried (outcome graph: %s)",
+		ok, failed, skipped, retried, art.StatusDOTPath)
 	log.Printf("dashboard: %s", art.DashboardPath)
 	printSummaries(art)
 

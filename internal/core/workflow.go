@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -50,6 +51,17 @@ type Config struct {
 	// stage to exercise curation (see sacct.FetchSpec).
 	CorruptionRate float64
 	CorruptionSeed int64
+
+	// Robustness knobs for the dataflow run. TaskAttempts is the total
+	// tries per task (0/1 = no retries); TaskTimeout bounds each attempt
+	// (0 = none); TaskBackoff spaces retries (default 250 ms when
+	// retrying). ContinueOnError keeps independent branches running past
+	// a failed stage: the run then returns its artifacts together with a
+	// *dataflow.RunError listing every failure.
+	TaskAttempts    int
+	TaskTimeout     time.Duration
+	TaskBackoff     time.Duration
+	ContinueOnError bool
 
 	// ExtendedFigures adds the operator views beyond the paper's set:
 	// a system-load timeline and a queue-depth timeline.
@@ -165,6 +177,7 @@ type Artifacts struct {
 	Jobs          int    // job-level records
 	Summaries     Summaries
 	Trace         *dataflow.Trace
+	StatusDOTPath string // post-run DOT annotated with task outcomes
 	FactsPath     string // grounded agent facts (JSON)
 	ReportPath    string // markdown analysis report
 }
@@ -468,11 +481,25 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 		return nil, err
 	}
 
-	trace, err := (&dataflow.Executor{Workers: cfg.Workers}).Run(ctx, g)
-	if err != nil {
+	ex := &dataflow.Executor{
+		Workers: cfg.Workers,
+		DefaultPolicy: dataflow.Policy{
+			Attempts:        cfg.TaskAttempts,
+			Timeout:         cfg.TaskTimeout,
+			Backoff:         cfg.TaskBackoff,
+			Jitter:          0.2,
+			ContinueOnError: cfg.ContinueOnError,
+		},
+	}
+	trace, err := ex.Run(ctx, g)
+	var runErr *dataflow.RunError
+	if err != nil && !errors.As(err, &runErr) {
 		return nil, err
 	}
 
+	// On a ContinueOnError partial failure the run still assembles every
+	// artifact the surviving branches produced, and the caller gets the
+	// full failure list alongside them.
 	art.Trace = trace
 	art.CSVPaths = csvPaths
 	art.DashboardPath = dashPath
@@ -480,7 +507,11 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 	art.Records = len(st.records)
 	art.Jobs = len(st.jobs)
 	art.Summaries = st.summariesOnce(cfg.SystemNodes)
-	return art, nil
+	art.StatusDOTPath = filepath.Join(cfg.OutputDir, "workflow-status.dot")
+	if werr := os.WriteFile(art.StatusDOTPath, []byte(g.DOTTrace(trace)), 0o644); werr != nil && err == nil {
+		err = werr
+	}
+	return art, err
 }
 
 func summarize(st *runState, capacityNodes int) Summaries {

@@ -12,8 +12,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
-	"time"
 )
 
 // Task is one workflow stage with declared data dependencies.
@@ -22,17 +20,21 @@ type Task struct {
 	Reads  []string
 	Writes []string
 	Run    func(ctx context.Context) error
+	// Policy overrides the executor's DefaultPolicy for this task; nil
+	// inherits the default.
+	Policy *Policy
 }
 
 // Graph is a set of tasks with inferred dependencies.
 type Graph struct {
 	tasks   []*Task
 	writers map[string]int // file → producing task index
+	names   map[string]int // task name → index (duplicate detection)
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
-	return &Graph{writers: map[string]int{}}
+	return &Graph{writers: map[string]int{}, names: map[string]int{}}
 }
 
 // Add appends a task. Every file may have at most one writer; a task must
@@ -44,10 +46,8 @@ func (g *Graph) Add(t Task) error {
 	if t.Run == nil {
 		return fmt.Errorf("dataflow: task %q has no body", t.Name)
 	}
-	for _, p := range g.tasks {
-		if p.Name == t.Name {
-			return fmt.Errorf("dataflow: duplicate task name %q", t.Name)
-		}
+	if _, ok := g.names[t.Name]; ok {
+		return fmt.Errorf("dataflow: duplicate task name %q", t.Name)
 	}
 	for _, w := range t.Writes {
 		if prev, ok := g.writers[w]; ok {
@@ -58,6 +58,7 @@ func (g *Graph) Add(t Task) error {
 	idx := len(g.tasks)
 	tt := t
 	g.tasks = append(g.tasks, &tt)
+	g.names[t.Name] = idx
 	for _, w := range t.Writes {
 		g.writers[w] = idx
 	}
@@ -90,38 +91,51 @@ func (g *Graph) Validate() error {
 }
 
 // levels returns tasks grouped by topological depth — the "horizontal
-// rows" of Figure 2 whose members may execute concurrently.
+// rows" of Figure 2 whose members may execute concurrently. The DFS is
+// iterative: graphs arrive from generators at six-figure task counts,
+// and a deep linear chain must not grow the goroutine stack per task.
 func (g *Graph) levels() ([][]int, error) {
 	deps := g.deps()
 	depth := make([]int, len(g.tasks))
 	state := make([]int, len(g.tasks)) // 0 unvisited, 1 visiting, 2 done
-	var visit func(i int) error
-	visit = func(i int) error {
-		switch state[i] {
-		case 1:
-			return fmt.Errorf("dataflow: dependency cycle through %q", g.tasks[i].Name)
-		case 2:
-			return nil
+	type frame struct {
+		node int
+		next int // index into deps[node] of the next edge to follow
+	}
+	var stack []frame
+	for root := range g.tasks {
+		if state[root] != 0 {
+			continue
 		}
-		state[i] = 1
-		d := 0
-		for _, u := range deps[i] {
-			if err := visit(u); err != nil {
-				return err
+		state[root] = 1
+		stack = append(stack[:0], frame{node: root})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(deps[f.node]) {
+				u := deps[f.node][f.next]
+				f.next++
+				switch state[u] {
+				case 1:
+					return nil, fmt.Errorf("dataflow: dependency cycle through %q", g.tasks[u].Name)
+				case 0:
+					state[u] = 1
+					stack = append(stack, frame{node: u})
+				}
+				continue
 			}
-			if depth[u]+1 > d {
-				d = depth[u] + 1
+			d := 0
+			for _, u := range deps[f.node] {
+				if depth[u]+1 > d {
+					d = depth[u] + 1
+				}
 			}
+			depth[f.node] = d
+			state[f.node] = 2
+			stack = stack[:len(stack)-1]
 		}
-		depth[i] = d
-		state[i] = 2
-		return nil
 	}
 	maxDepth := 0
 	for i := range g.tasks {
-		if err := visit(i); err != nil {
-			return nil, err
-		}
 		if depth[i] > maxDepth {
 			maxDepth = depth[i]
 		}
@@ -178,139 +192,40 @@ func (g *Graph) DOT() string {
 	return b.String()
 }
 
-// TaskTrace records one task's execution.
-type TaskTrace struct {
-	Name    string
-	Start   time.Time
-	End     time.Time
-	Err     error
-	Workers int // concurrent tasks running when this one started
-}
-
-// Trace is the execution record of one run.
-type Trace struct {
-	Tasks          []TaskTrace
-	MaxConcurrency int
-}
-
-// Executor runs a graph with bounded physical concurrency — the N in the
-// paper's "swift-t -n N workflow.swift" invocation.
-type Executor struct {
-	Workers int
-}
-
-// Run executes every task respecting dependencies. The first task error
-// cancels the remaining work and is returned (wrapped); tasks already
-// running are allowed to finish.
-func (e *Executor) Run(ctx context.Context, g *Graph) (*Trace, error) {
-	if err := g.Validate(); err != nil {
-		return nil, err
+// DOTTrace renders the workflow diagram annotated with what actually
+// happened in a run: successful tasks in green, failures in red with
+// their attempt count, skipped tasks dashed grey. This is the post-run
+// companion to DOT — the Figure 2 shape plus the execution record.
+func (g *Graph) DOTTrace(tr *Trace) string {
+	byName := make(map[string]*TaskTrace, len(tr.Tasks))
+	for i := range tr.Tasks {
+		byName[tr.Tasks[i].Name] = &tr.Tasks[i]
 	}
-	workers := e.Workers
-	if workers <= 0 {
-		workers = 1
+	var b strings.Builder
+	b.WriteString("digraph workflow {\n  rankdir=TB;\n  node [shape=box];\n")
+	for _, t := range g.tasks {
+		tt, ok := byName[t.Name]
+		switch {
+		case !ok:
+			fmt.Fprintf(&b, "  %q [color=gray, label=\"%s\\nnot run\"];\n", t.Name, t.Name)
+		case tt.Skipped:
+			fmt.Fprintf(&b, "  %q [color=gray, style=dashed, label=\"%s\\nskipped\"];\n", t.Name, t.Name)
+		case tt.Err != nil:
+			fmt.Fprintf(&b, "  %q [color=red, label=\"%s\\nfailed (%d attempts)\"];\n",
+				t.Name, t.Name, len(tt.Attempts))
+		case len(tt.Attempts) > 1:
+			fmt.Fprintf(&b, "  %q [color=orange, label=\"%s\\nok after %d attempts\"];\n",
+				t.Name, t.Name, len(tt.Attempts))
+		default:
+			fmt.Fprintf(&b, "  %q [color=darkgreen, label=\"%s\\nok\"];\n", t.Name, t.Name)
+		}
 	}
 	deps := g.deps()
-	n := len(g.tasks)
-	dependents := make([][]int, n)
-	indeg := make([]int, n)
 	for i, ds := range deps {
-		indeg[i] = len(ds)
 		for _, u := range ds {
-			dependents[u] = append(dependents[u], i)
+			fmt.Fprintf(&b, "  %q -> %q;\n", g.tasks[u].Name, g.tasks[i].Name)
 		}
 	}
-
-	if n == 0 {
-		return &Trace{}, nil
-	}
-
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	var (
-		mu        sync.Mutex
-		trace     = &Trace{Tasks: make([]TaskTrace, 0, n)}
-		firstErr  error
-		running   int
-		completed int
-	)
-	ready := make(chan int, n)
-	for i := 0; i < n; i++ {
-		if indeg[i] == 0 {
-			ready <- i
-		}
-	}
-
-	// A fixed worker pool drains ready until every task finished, one
-	// failed, or the caller cancelled.
-	var workerWG sync.WaitGroup
-	doneCh := make(chan struct{})
-	for w := 0; w < workers; w++ {
-		workerWG.Add(1)
-		go func() {
-			defer workerWG.Done()
-			for {
-				select {
-				case <-runCtx.Done():
-					return
-				case <-doneCh:
-					return
-				case i := <-ready:
-					t := g.tasks[i]
-					mu.Lock()
-					running++
-					if running > trace.MaxConcurrency {
-						trace.MaxConcurrency = running
-					}
-					startedWith := running
-					mu.Unlock()
-
-					tt := TaskTrace{Name: t.Name, Start: time.Now(), Workers: startedWith}
-					err := t.Run(runCtx)
-					tt.End = time.Now()
-					tt.Err = err
-
-					mu.Lock()
-					running--
-					completed++
-					trace.Tasks = append(trace.Tasks, tt)
-					if err != nil && firstErr == nil {
-						firstErr = fmt.Errorf("dataflow: task %q: %w", t.Name, err)
-						cancel()
-					}
-					if err == nil {
-						for _, d := range dependents[i] {
-							indeg[d]--
-							if indeg[d] == 0 {
-								ready <- d
-							}
-						}
-					}
-					if completed == n || firstErr != nil {
-						select {
-						case <-doneCh:
-						default:
-							close(doneCh)
-						}
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	workerWG.Wait()
-
-	mu.Lock()
-	defer mu.Unlock()
-	if firstErr != nil {
-		return trace, firstErr
-	}
-	if ctxErr := ctx.Err(); ctxErr != nil {
-		return trace, ctxErr
-	}
-	if completed != n {
-		return trace, fmt.Errorf("dataflow: %d of %d tasks never became runnable", n-completed, n)
-	}
-	return trace, nil
+	b.WriteString("}\n")
+	return b.String()
 }

@@ -217,8 +217,19 @@ func TestFailureCancelsDownstream(t *testing.T) {
 	if ranDownstream.Load() {
 		t.Error("downstream task ran despite upstream failure")
 	}
-	if len(trace.Tasks) != 1 || trace.Tasks[0].Err == nil {
-		t.Errorf("trace = %+v", trace.Tasks)
+	// The trace accounts for both tasks: the failure and the skip.
+	if len(trace.Tasks) != 2 {
+		t.Fatalf("trace = %+v", trace.Tasks)
+	}
+	byName := map[string]TaskTrace{}
+	for _, tt := range trace.Tasks {
+		byName[tt.Name] = tt
+	}
+	if first := byName["first"]; first.Err == nil || first.Skipped {
+		t.Errorf("first = %+v", first)
+	}
+	if second := byName["second"]; !second.Skipped || !errors.Is(second.Err, ErrSkipped) {
+		t.Errorf("second = %+v", second)
 	}
 }
 

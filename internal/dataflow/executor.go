@@ -1,0 +1,284 @@
+package dataflow
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Executor runs a graph with bounded physical concurrency — the N in the
+// paper's "swift-t -n N workflow.swift" invocation — applying a retry
+// policy around every task body.
+type Executor struct {
+	Workers int
+	// DefaultPolicy applies to tasks that carry no Policy of their own.
+	// The zero value is the classic fail-fast single attempt.
+	DefaultPolicy Policy
+	// Seed makes backoff jitter reproducible; 0 picks a fixed seed, so
+	// two runs of the same graph draw the same jitter schedule.
+	Seed int64
+}
+
+// Run executes every task respecting dependencies, retrying each per its
+// policy. Under the zero policy the first terminal task error cancels
+// the remaining work and is returned (wrapped); tasks already running
+// are allowed to finish. Tasks whose policy sets ContinueOnError only
+// take down their own downstream subgraph — independent branches keep
+// running, and the combined *RunError reports every failure. The trace
+// accounts for every task in the graph exactly once: executed tasks
+// carry their attempts, tasks that never ran are marked Skipped.
+func (e *Executor) Run(ctx context.Context, g *Graph) (*Trace, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	deps := g.deps()
+	n := len(g.tasks)
+	dependents := make([][]int, n)
+	indeg := make([]int, n)
+	for i, ds := range deps {
+		indeg[i] = len(ds)
+		for _, u := range ds {
+			dependents[u] = append(dependents[u], i)
+		}
+	}
+
+	if n == 0 {
+		return &Trace{}, nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	seed := e.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	var (
+		mu       sync.Mutex
+		trace    = &Trace{Tasks: make([]TaskTrace, 0, n)}
+		firstErr error
+		running  int
+		settled  = make([]bool, n) // ran to completion, failed, or skipped
+		nSettled int
+		taskErrs = make([]error, n) // terminal error per task index
+		rng      = rand.New(rand.NewSource(seed))
+	)
+	ready := make(chan int, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready <- i
+		}
+	}
+
+	// jitterLocked perturbs a backoff delay by up to pol.Jitter of
+	// itself; the caller holds mu (rand.Rand is not goroutine-safe).
+	jitter := func(d time.Duration, frac float64) time.Duration {
+		if frac <= 0 || d <= 0 {
+			return d
+		}
+		mu.Lock()
+		u := rng.Float64()
+		mu.Unlock()
+		return d + time.Duration(frac*u*float64(d))
+	}
+
+	// skipDownstream marks every transitive dependent of task i as
+	// settled/skipped, recording one trace entry each. Only pending
+	// tasks can be downstream of a failure (anything running or ready
+	// already had all parents complete), so no double accounting is
+	// possible. Caller holds mu.
+	skipDownstream := func(i int) {
+		queue := append([]int(nil), dependents[i]...)
+		for len(queue) > 0 {
+			d := queue[0]
+			queue = queue[1:]
+			if settled[d] {
+				continue
+			}
+			settled[d] = true
+			nSettled++
+			trace.Tasks = append(trace.Tasks, TaskTrace{
+				Name:    g.tasks[d].Name,
+				Skipped: true,
+				Err: fmt.Errorf("%w: upstream %q failed",
+					ErrSkipped, g.tasks[i].Name),
+			})
+			queue = append(queue, dependents[d]...)
+		}
+	}
+
+	finishIfDone := func(doneCh chan struct{}) {
+		if nSettled == n || firstErr != nil {
+			select {
+			case <-doneCh:
+			default:
+				close(doneCh)
+			}
+		}
+	}
+
+	// A fixed worker pool drains ready until every task settled, one
+	// failed fail-fast, or the caller cancelled.
+	var workerWG sync.WaitGroup
+	doneCh := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-doneCh:
+					return
+				case i := <-ready:
+					t := g.tasks[i]
+					pol := e.DefaultPolicy
+					if t.Policy != nil {
+						pol = *t.Policy
+					}
+					pol = pol.normalized()
+
+					mu.Lock()
+					running++
+					if running > trace.MaxConcurrency {
+						trace.MaxConcurrency = running
+					}
+					startedWith := running
+					mu.Unlock()
+
+					tt := TaskTrace{Name: t.Name, Start: time.Now(), Workers: startedWith}
+					err := runAttempts(runCtx, t, pol, &tt, jitter)
+					tt.End = time.Now()
+					tt.Err = err
+
+					mu.Lock()
+					running--
+					settled[i] = true
+					nSettled++
+					trace.Tasks = append(trace.Tasks, tt)
+					switch {
+					case err == nil:
+						for _, d := range dependents[i] {
+							indeg[d]--
+							if indeg[d] == 0 {
+								ready <- d
+							}
+						}
+					case pol.ContinueOnError && runCtx.Err() == nil:
+						taskErrs[i] = fmt.Errorf("dataflow: task %q: %w", t.Name, err)
+						skipDownstream(i)
+					default:
+						if firstErr == nil {
+							firstErr = fmt.Errorf("dataflow: task %q: %w", t.Name, err)
+							cancel()
+						}
+					}
+					finishIfDone(doneCh)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	workerWG.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+
+	// Account for tasks that never ran: blocked behind an aborted run or
+	// drained out when the context was cancelled.
+	if nSettled != n {
+		reason := "run aborted"
+		if ctx.Err() != nil {
+			reason = "run cancelled"
+		}
+		for i := 0; i < n; i++ {
+			if settled[i] {
+				continue
+			}
+			settled[i] = true
+			nSettled++
+			trace.Tasks = append(trace.Tasks, TaskTrace{
+				Name:    g.tasks[i].Name,
+				Skipped: true,
+				Err:     fmt.Errorf("%w: %s", ErrSkipped, reason),
+			})
+		}
+	}
+
+	if firstErr != nil {
+		return trace, firstErr
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return trace, ctxErr
+	}
+	var errs []error
+	for _, err := range taskErrs {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(errs) > 0 {
+		return trace, &RunError{Errs: errs}
+	}
+	return trace, nil
+}
+
+// runAttempts drives one task through its policy: per-attempt timeout,
+// exponential backoff with jitter between attempts, and a backoff sleep
+// that aborts the moment the run context is cancelled.
+func runAttempts(runCtx context.Context, t *Task, pol Policy,
+	tt *TaskTrace, jitter func(time.Duration, float64) time.Duration) error {
+	backoff := pol.Backoff
+	var err error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			if serr := sleepCtx(runCtx, jitter(backoff, pol.Jitter)); serr != nil {
+				return err // keep the attempt error; the run is aborting
+			}
+			backoff *= 2
+		}
+		attemptCtx := runCtx
+		cancelAttempt := func() {}
+		if pol.Timeout > 0 {
+			attemptCtx, cancelAttempt = context.WithTimeout(runCtx, pol.Timeout)
+		}
+		at := Attempt{Start: time.Now()}
+		err = t.Run(attemptCtx)
+		cancelAttempt()
+		at.End = time.Now()
+		at.Err = err
+		tt.Attempts = append(tt.Attempts, at)
+		if err == nil || runCtx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// sleepCtx waits d or until ctx is cancelled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

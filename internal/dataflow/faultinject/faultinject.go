@@ -1,0 +1,184 @@
+// Package faultinject is a deterministic fault-injection harness for
+// dataflow task bodies. An Injector wraps a task's Run function and,
+// consulting a seeded per-task schedule, makes individual invocations
+// fail, stall until cancellation, or run late — the flaky-external-API
+// conditions the executor's retry policies exist for.
+//
+// Determinism is the point: each task name gets its own RNG stream
+// derived from (seed, name), so the k-th call of a given task sees the
+// same decision regardless of how goroutines interleave across tasks.
+// Tests can therefore assert exact outcomes for a seed, and a failing
+// stress-test seed replays identically.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	// None lets the call through untouched.
+	None Kind = iota
+	// Error fails the call without running the wrapped body.
+	Error
+	// Delay sleeps (context-aware) before running the body.
+	Delay
+	// Stall blocks until the context is cancelled, then returns its
+	// error — the "hung upstream" that only a per-attempt timeout can
+	// unwedge.
+	Stall
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Error:
+		return "error"
+	case Delay:
+		return "delay"
+	case Stall:
+		return "stall"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the sentinel wrapped by every injected failure.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// Options sets the probabilistic schedule. Rates are per-call
+// probabilities drawn in order error, delay, stall from one uniform
+// sample; their sum should stay ≤ 1.
+type Options struct {
+	ErrorRate float64
+	DelayRate float64
+	StallRate float64
+	// Delay is how long a Delay fault sleeps before running the body.
+	Delay time.Duration
+}
+
+// Injector derives per-task fault schedules from one seed.
+type Injector struct {
+	seed int64
+	opts Options
+
+	mu    sync.Mutex
+	tasks map[string]*taskState
+}
+
+type taskState struct {
+	rng      *rand.Rand
+	calls    int
+	script   []Kind // explicit schedule; consulted before the RNG
+	injected map[Kind]int
+}
+
+// New returns an injector for the given seed and probabilities.
+func New(seed int64, opts Options) *Injector {
+	return &Injector{seed: seed, opts: opts, tasks: map[string]*taskState{}}
+}
+
+func (in *Injector) state(name string) *taskState {
+	st, ok := in.tasks[name]
+	if !ok {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		st = &taskState{
+			rng:      rand.New(rand.NewSource(in.seed ^ int64(h.Sum64()))),
+			injected: map[Kind]int{},
+		}
+		in.tasks[name] = st
+	}
+	return st
+}
+
+// Script pins an explicit fault sequence for one task: call k receives
+// faults[k]; calls past the end fall back to the probabilistic schedule.
+// Scripts make "fail twice then succeed" retry tests exact.
+func (in *Injector) Script(name string, faults ...Kind) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.state(name).script = append(in.state(name).script, faults...)
+}
+
+// decide draws the fault for the next call of name.
+func (in *Injector) decide(name string) (Kind, int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.state(name)
+	call := st.calls
+	st.calls++
+	var k Kind
+	if call < len(st.script) {
+		k = st.script[call]
+	} else {
+		u := st.rng.Float64()
+		switch {
+		case u < in.opts.ErrorRate:
+			k = Error
+		case u < in.opts.ErrorRate+in.opts.DelayRate:
+			k = Delay
+		case u < in.opts.ErrorRate+in.opts.DelayRate+in.opts.StallRate:
+			k = Stall
+		default:
+			k = None
+		}
+	}
+	if k != None {
+		st.injected[k]++
+	}
+	return k, call
+}
+
+// Wrap returns a body that consults the schedule before delegating to fn.
+func (in *Injector) Wrap(name string, fn func(context.Context) error) func(context.Context) error {
+	return func(ctx context.Context) error {
+		k, call := in.decide(name)
+		switch k {
+		case Error:
+			return fmt.Errorf("%w: task %q call %d", ErrInjected, name, call)
+		case Delay:
+			timer := time.NewTimer(in.opts.Delay)
+			defer timer.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-timer.C:
+			}
+		case Stall:
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		return fn(ctx)
+	}
+}
+
+// Calls reports how many invocations of name the injector has seen.
+func (in *Injector) Calls(name string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st, ok := in.tasks[name]; ok {
+		return st.calls
+	}
+	return 0
+}
+
+// Injected totals the faults of one kind delivered across all tasks.
+func (in *Injector) Injected(k Kind) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	total := 0
+	for _, st := range in.tasks {
+		total += st.injected[k]
+	}
+	return total
+}

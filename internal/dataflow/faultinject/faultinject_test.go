@@ -1,0 +1,139 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ok(context.Context) error { return nil }
+
+func TestScriptedFaults(t *testing.T) {
+	in := New(1, Options{})
+	in.Script("curate", Error, Error, None)
+	body := in.Wrap("curate", ok)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := body(ctx); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want injected", i, err)
+		}
+	}
+	if err := body(ctx); err != nil {
+		t.Fatalf("call 2: %v, want success", err)
+	}
+	if in.Calls("curate") != 3 {
+		t.Errorf("calls = %d", in.Calls("curate"))
+	}
+	if in.Injected(Error) != 2 {
+		t.Errorf("injected errors = %d", in.Injected(Error))
+	}
+}
+
+func TestStallBlocksUntilCancelled(t *testing.T) {
+	in := New(1, Options{})
+	in.Script("hang", Stall)
+	body := in.Wrap("hang", ok)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := body(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("stall returned after %v, before the deadline", d)
+	}
+}
+
+func TestDelayIsContextAware(t *testing.T) {
+	in := New(1, Options{Delay: 10 * time.Second})
+	in.Script("slow", Delay)
+	body := in.Wrap("slow", ok)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := body(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("delayed call ignored cancellation for %v", d)
+	}
+}
+
+// decisions drains n decisions for every named task from an injector.
+func decisions(in *Injector, names []string, n int) map[string][]Kind {
+	out := map[string][]Kind{}
+	for _, name := range names {
+		for i := 0; i < n; i++ {
+			k, _ := in.decide(name)
+			out[name] = append(out[name], k)
+		}
+	}
+	return out
+}
+
+func TestDeterministicAcrossInterleavings(t *testing.T) {
+	opts := Options{ErrorRate: 0.3, DelayRate: 0.2, StallRate: 0.1}
+	names := []string{"obtain", "curate", "plot", "llm-insight"}
+
+	// Serial, task by task.
+	serial := decisions(New(42, opts), names, 16)
+
+	// Concurrent, interleaved arbitrarily across tasks.
+	in := New(42, opts)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	concurrent := map[string][]Kind{}
+	for _, name := range names {
+		name := name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				k, call := in.decide(name)
+				mu.Lock()
+				for len(concurrent[name]) <= call {
+					concurrent[name] = append(concurrent[name], None)
+				}
+				concurrent[name][call] = k
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	some := false
+	for _, name := range names {
+		for i := range serial[name] {
+			if serial[name][i] != concurrent[name][i] {
+				t.Fatalf("task %s call %d: serial %v, concurrent %v",
+					name, i, serial[name][i], concurrent[name][i])
+			}
+			if serial[name][i] != None {
+				some = true
+			}
+		}
+	}
+	if !some {
+		t.Error("no faults drawn at these rates — schedule is inert")
+	}
+
+	// A different seed produces a different schedule.
+	other := decisions(New(43, opts), names, 16)
+	same := true
+	for _, name := range names {
+		for i := range serial[name] {
+			if serial[name][i] != other[name][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 drew identical schedules")
+	}
+}

@@ -104,7 +104,7 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if status, err := s.authorize(r); err != nil {
-		writeJSON(w, status, apiError{err.Error()})
+		s.deny(w, status, err)
 		return
 	}
 	var req ChatRequest
@@ -118,6 +118,20 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 	}
 	reply := NewAgent(req.Facts).Ask(req.Message, req.Previous)
 	writeJSON(w, http.StatusOK, ChatResponse{Reply: reply, Model: s.ModelName})
+}
+
+// deny writes an auth or rate-limit rejection, attaching a Retry-After
+// hint to 429s so retry-aware clients pace themselves off the server's
+// token-bucket refill instead of their own guess.
+func (s *Server) deny(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		secs := 1
+		if s.RatePerSec > 0 && s.RatePerSec < 1 {
+			secs = int(1/s.RatePerSec + 0.5)
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	writeJSON(w, status, apiError{err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -184,7 +198,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if status, err := s.authorize(r); err != nil {
-		writeJSON(w, status, apiError{err.Error()})
+		s.deny(w, status, err)
 		return
 	}
 	var req Request

@@ -4,27 +4,50 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
 )
 
+// Response-body caps per endpoint: every read is bounded, success and
+// error paths alike.
+const (
+	analyzeBodyLimit = 16 << 20
+	chatBodyLimit    = 1 << 20
+	modelsBodyLimit  = 1 << 20
+)
+
+// defaultMaxRetries is the retry budget selected by a negative
+// MaxRetries (the "use the default" sentinel).
+const defaultMaxRetries = 3
+
 // Client talks to an analyze endpoint (the built-in mock server or any
 // API-compatible deployment) with bearer auth, timeouts, and retry with
 // exponential backoff on 429/5xx — the robustness a production pipeline
-// needs around a flaky external model API.
+// needs around a flaky external model API. All three endpoints (Analyze,
+// Chat, Models) share one retry core that honours Retry-After, jitters
+// its backoff, and aborts backoff sleeps the moment the context is
+// cancelled.
 type Client struct {
 	BaseURL string
 	APIKey  string
 	// HTTPClient defaults to a client with a 30 s timeout.
 	HTTPClient *http.Client
-	// MaxRetries bounds retry attempts after the first try (default 3).
+	// MaxRetries bounds retry attempts after the first try. Negative
+	// selects the default (3); 0 disables retries entirely.
 	MaxRetries int
 	// Backoff is the initial retry delay, doubled per attempt (default
-	// 250 ms).
+	// 250 ms). A server Retry-After hint overrides the computed delay.
 	Backoff time.Duration
-	// Sleep is the delay function (overridable in tests).
+	// Jitter adds up to this fraction of each delay as random slack so
+	// synchronised clients do not retry in lockstep (0 disables).
+	Jitter float64
+	// Sleep is the delay function (overridable in tests). When set, it
+	// replaces the context-aware timer — the retry core still refuses
+	// to start a sleep on a cancelled context.
 	Sleep func(time.Duration)
 }
 
@@ -34,9 +57,9 @@ func NewClient(baseURL, apiKey string) *Client {
 		BaseURL:    baseURL,
 		APIKey:     apiKey,
 		HTTPClient: &http.Client{Timeout: 30 * time.Second},
-		MaxRetries: 3,
+		MaxRetries: defaultMaxRetries,
 		Backoff:    250 * time.Millisecond,
-		Sleep:      time.Sleep,
+		Jitter:     0.2,
 	}
 }
 
@@ -50,69 +73,11 @@ func (c *Client) Analyze(ctx context.Context, prompt string, images ...Image) (*
 	if err != nil {
 		return nil, err
 	}
-	retries := c.MaxRetries
-	if retries <= 0 {
-		retries = 3
+	var out Response
+	if err := c.do(ctx, http.MethodPost, "/v1/analyze", body, analyzeBodyLimit, &out); err != nil {
+		return nil, err
 	}
-	backoff := c.Backoff
-	if backoff <= 0 {
-		backoff = 250 * time.Millisecond
-	}
-	sleep := c.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
-	}
-	httpc := c.HTTPClient
-	if httpc == nil {
-		httpc = &http.Client{Timeout: 30 * time.Second}
-	}
-
-	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 {
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			default:
-			}
-			sleep(backoff)
-			backoff *= 2
-		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			c.BaseURL+"/v1/analyze", bytes.NewReader(body))
-		if err != nil {
-			return nil, err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		if c.APIKey != "" {
-			req.Header.Set("Authorization", "Bearer "+c.APIKey)
-		}
-		resp, err := httpc.Do(req)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-		resp.Body.Close()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		switch {
-		case resp.StatusCode == http.StatusOK:
-			var out Response
-			if err := json.Unmarshal(data, &out); err != nil {
-				return nil, fmt.Errorf("llm: malformed response: %w", err)
-			}
-			return &out, nil
-		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
-			lastErr = fmt.Errorf("llm: server returned %d: %s", resp.StatusCode, errText(data))
-			continue // retryable
-		default:
-			return nil, fmt.Errorf("llm: server returned %d: %s", resp.StatusCode, errText(data))
-		}
-	}
-	return nil, fmt.Errorf("llm: giving up after %d attempts: %w", retries+1, lastErr)
+	return &out, nil
 }
 
 // Chat asks the conversational agent one grounded question. Pass the
@@ -122,61 +87,150 @@ func (c *Client) Chat(ctx context.Context, facts Facts, message string, previous
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/chat", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if c.APIKey != "" {
-		req.Header.Set("Authorization", "Bearer "+c.APIKey)
-	}
-	httpc := c.HTTPClient
-	if httpc == nil {
-		httpc = &http.Client{Timeout: 30 * time.Second}
-	}
-	resp, err := httpc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("llm: server returned %d: %s", resp.StatusCode, errText(data))
-	}
 	var out ChatResponse
-	if err := json.Unmarshal(data, &out); err != nil {
-		return nil, fmt.Errorf("llm: malformed chat response: %w", err)
+	if err := c.do(ctx, http.MethodPost, "/v1/chat", body, chatBodyLimit, &out); err != nil {
+		return nil, err
 	}
 	return &out, nil
 }
 
 // Models fetches the provider registry from the endpoint.
 func (c *Client) Models(ctx context.Context) ([]Provider, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/models", nil)
-	if err != nil {
+	var out []Provider
+	if err := c.do(ctx, http.MethodGet, "/v1/models", nil, modelsBodyLimit, &out); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// do is the shared retry core. It re-issues the request while the
+// failure is retryable (typed: *APIError with 429/5xx, *TransportError)
+// and budget remains, backing off exponentially with jitter, preferring
+// the server's Retry-After hint, and returning immediately — mid-sleep
+// included — once ctx is cancelled. Terminal failures (4xx, malformed
+// bodies) return without burning the retry budget.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, limit int64, out any) error {
+	retries := c.MaxRetries
+	if retries < 0 {
+		retries = defaultMaxRetries
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
 	}
 	httpc := c.HTTPClient
 	if httpc == nil {
 		httpc = &http.Client{Timeout: 30 * time.Second}
 	}
+
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			delay := backoff
+			var apiErr *APIError
+			if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > 0 {
+				delay = apiErr.RetryAfter
+			}
+			if c.Jitter > 0 {
+				delay += time.Duration(c.Jitter * rand.Float64() * float64(delay))
+			}
+			if err := c.sleep(ctx, delay); err != nil {
+				return err
+			}
+			backoff *= 2
+		}
+		err := c.once(ctx, httpc, method, path, body, limit, out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		var re retryableError
+		if !errors.As(err, &re) || !re.Retryable() {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("llm: giving up after %d attempts: %w", retries+1, lastErr)
+}
+
+// once issues the request a single time and classifies the outcome into
+// typed errors for the retry core.
+func (c *Client) once(ctx context.Context, httpc *http.Client, method, path string, body []byte, limit int64, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
 	resp, err := httpc.Do(req)
 	if err != nil {
-		return nil, err
+		return &TransportError{Err: err}
 	}
 	defer resp.Body.Close()
+	data, err := readBounded(resp.Body, limit)
+	if err != nil {
+		if resp.StatusCode == http.StatusOK {
+			return err
+		}
+		// An oversized or unreadable error body still yields the typed
+		// status error; the detail text is best-effort anyway.
+		data = nil
+	}
 	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		return nil, fmt.Errorf("llm: server returned %d: %s", resp.StatusCode, errText(data))
+		return &APIError{
+			Status:     resp.StatusCode,
+			Message:    errText(data),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()),
+		}
 	}
-	var out []Provider
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("llm: malformed response: %w", err)
 	}
-	return out, nil
+	return nil
+}
+
+// readBounded reads at most limit bytes and fails loudly (instead of
+// silently truncating into a JSON parse error) when the body is larger.
+func readBounded(r io.Reader, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, &TransportError{Err: err}
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("llm: response exceeds %d byte limit", limit)
+	}
+	return data, nil
+}
+
+// sleep waits the backoff delay, returning early with the context error
+// if the caller cancels — a cancelled pipeline must not block for the
+// remaining backoff schedule.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 func errText(data []byte) string {
@@ -187,6 +241,9 @@ func errText(data []byte) string {
 	s := string(data)
 	if len(s) > 200 {
 		s = s[:200]
+	}
+	if s == "" {
+		s = "(no body)"
 	}
 	return s
 }

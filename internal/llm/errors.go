@@ -1,0 +1,68 @@
+package llm
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// APIError is a typed non-200 response from the endpoint. It carries
+// everything the retry core needs to classify the failure: the status
+// (retryable 429/5xx vs terminal 4xx) and any server-provided
+// Retry-After hint.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration // parsed Retry-After; 0 when absent
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("llm: server returned %d: %s", e.Status, e.Message)
+}
+
+// Retryable reports whether the request may be retried: the server was
+// overloaded (429) or failed transiently (5xx). Everything else — bad
+// request, bad auth, unprocessable payload — is terminal.
+func (e *APIError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// TransportError is a typed connection-level failure (dial, reset,
+// client-side timeout). These are always worth retrying — unless the
+// caller's context is already done, which the retry core checks first.
+type TransportError struct {
+	Err error
+}
+
+func (e *TransportError) Error() string { return "llm: transport: " + e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Retryable marks transport failures as transient.
+func (e *TransportError) Retryable() bool { return true }
+
+// retryableError is what the retry core looks for: typed errors declare
+// their own retryability; anything untyped (marshalling, malformed
+// success bodies) is terminal.
+type retryableError interface {
+	Retryable() bool
+}
+
+// parseRetryAfter reads a Retry-After header in either the
+// delta-seconds or the HTTP-date form.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
