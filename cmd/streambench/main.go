@@ -1,0 +1,206 @@
+// Command streambench measures the streaming data plane's footprint in
+// isolation: peak RSS and wall time of one full curate→analyze pass over
+// a trace file, contrasted against the pre-refactor materialise-and-
+// rescan path. Generation and measurement run as separate invocations so
+// /proc/self/status VmHWM reflects only the analysis pass:
+//
+//	streambench -gen -rows 1000000 -path trace-1m.txt
+//	streambench -run -mode stream -path trace-1m.txt
+//	streambench -run -mode slices -path trace-1m.txt
+//
+// The -gen phase simulates a seed workload once and tiles its encoded
+// rows to the requested count, so multi-million-row inputs cost seconds
+// rather than a multi-million-job scheduler replay. EXPERIMENTS.md
+// "Streaming data plane" records the numbers.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"slurmsight/internal/analyze"
+	"slurmsight/internal/cluster"
+	"slurmsight/internal/curate"
+	"slurmsight/internal/sched"
+	"slurmsight/internal/slurm"
+	"slurmsight/internal/tracegen"
+)
+
+const bucket = 6 * time.Hour
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streambench: ")
+
+	var (
+		gen  = flag.Bool("gen", false, "generate a trace file and exit")
+		run  = flag.Bool("run", false, "run one analysis pass over -path")
+		rows = flag.Int("rows", 1_000_000, "data rows to generate with -gen")
+		mode = flag.String("mode", "stream", "analysis path with -run: stream or slices")
+		path = flag.String("path", "trace.txt", "trace file")
+		seed = flag.Int64("seed", 41, "workload RNG seed for -gen")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen:
+		if err := generate(*path, *rows, *seed); err != nil {
+			log.Fatal(err)
+		}
+	case *run:
+		if err := measure(*path, *mode); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("pick one of -gen or -run")
+	}
+}
+
+// generate simulates a seed workload, then tiles its encoded rows until
+// the file holds n data rows. Tiled copies keep their field values; only
+// row identity repeats, which the figure collectors do not key on.
+func generate(path string, n int, seed int64) error {
+	p := tracegen.FrontierProfile()
+	p.JobsPerDay, p.Users = 300, 150
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	reqs, err := tracegen.Generate([]tracegen.Phase{{
+		Profile: p, Start: start, End: start.AddDate(0, 0, 30),
+	}}, seed)
+	if err != nil {
+		return err
+	}
+	sim, err := sched.New(sched.DefaultConfig(cluster.Frontier()))
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(reqs, sched.Options{EmitSteps: true})
+	if err != nil {
+		return err
+	}
+	recs := append(append([]slurm.Record{}, res.Jobs...), res.Steps...)
+	sort.SliceStable(recs, func(i, j int) bool {
+		return slurm.CompareJobID(recs[i].ID, recs[j].ID) < 0
+	})
+
+	fields := slurm.SelectedNames()
+	lines := make([]string, len(recs))
+	for i := range recs {
+		if lines[i], err = slurm.EncodeRecord(&recs[i], fields); err != nil {
+			return err
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	fmt.Fprintln(w, slurm.Header(fields))
+	for i := 0; i < n; i++ {
+		fmt.Fprintln(w, lines[i%len(lines)])
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("wrote %s: %d rows (%d distinct), %.1f MB\n",
+		path, n, len(lines), float64(st.Size())/(1<<20))
+	return nil
+}
+
+// measure runs one analysis pass and reports wall time, allocation
+// totals, and the process high-water RSS.
+func measure(path, mode string) error {
+	t0 := time.Now()
+	var records int64
+	switch mode {
+	case "stream":
+		b := analyze.NewBundle(bucket)
+		var rep curate.Report
+		for rec, err := range curate.StreamFile(path, "", curate.DefaultOptions(), &rep) {
+			if err != nil {
+				return err
+			}
+			b.Observe(rec)
+		}
+		touchBundle(b)
+		records = b.Records
+	case "slices":
+		recs, _, err := curate.LoadRecordsFile(path)
+		if err != nil {
+			return err
+		}
+		sort.SliceStable(recs, func(i, j int) bool {
+			return slurm.CompareJobID(recs[i].ID, recs[j].ID) < 0
+		})
+		touchSlices(recs)
+		records = int64(len(recs))
+	default:
+		return fmt.Errorf("unknown -mode %q", mode)
+	}
+	wall := time.Since(t0)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	hwm, err := vmHWM()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mode=%s records=%d wall=%s peak_rss=%.1fMB total_alloc=%.1fMB mallocs=%d\n",
+		mode, records, wall.Round(time.Millisecond),
+		float64(hwm)/(1<<20), float64(ms.TotalAlloc)/(1<<20), ms.Mallocs)
+	return nil
+}
+
+// touchBundle forces every figure result the workflow consumes.
+func touchBundle(b *analyze.Bundle) {
+	_ = b.Volume.Result()
+	_ = b.Scale.Result()
+	_ = b.Waits.Result()
+	_ = b.Users.Result(50)
+	_ = b.Backfill.Result()
+	_ = b.Reclaim.Result()
+	_ = b.Timeline.Result()
+	_ = b.Classes.Result()
+}
+
+// touchSlices runs the multi-pass builders the old workflow consumed.
+func touchSlices(recs []slurm.Record) {
+	_ = analyze.JobStepVolume(recs)
+	_ = analyze.NodesVsElapsed(recs)
+	_ = analyze.WaitTimes(recs)
+	_ = analyze.StatesPerUser(recs, 50)
+	_ = analyze.RequestedVsActual(recs)
+	_ = analyze.ReclaimableNodeHours(recs)
+	_ = analyze.Timeline(recs, bucket)
+	_ = analyze.PerClass(recs)
+}
+
+// vmHWM reads the process peak resident set from /proc/self/status.
+func vmHWM() (int64, error) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			kb, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimSpace(rest), " kB"), 10, 64)
+			if err != nil {
+				return 0, err
+			}
+			return kb << 10, nil
+		}
+	}
+	return 0, fmt.Errorf("VmHWM not found in /proc/self/status")
+}

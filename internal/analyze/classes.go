@@ -1,8 +1,6 @@
 package analyze
 
 import (
-	"sort"
-
 	"slurmsight/internal/slurm"
 	"slurmsight/internal/stats"
 )
@@ -20,79 +18,33 @@ type ClassSummary struct {
 	BackfillShare  float64
 }
 
+// summary condenses one class accumulator.
+func (a *classAcc) summary(class string) ClassSummary {
+	s := ClassSummary{
+		Class:     class,
+		Jobs:      a.jobs,
+		NodeHours: a.nodeHours,
+	}
+	s.MedianWaitS, _ = stats.Quantile(a.waits, 0.5)
+	s.MedianNodes, _ = stats.Quantile(a.nodes, 0.5)
+	s.MedianUseRatio, _ = stats.Quantile(a.ratios, 0.5)
+	if a.jobs > 0 {
+		s.FailedShare = float64(a.bad) / float64(a.jobs)
+	}
+	if a.started > 0 {
+		s.BackfillShare = float64(a.backfill) / float64(a.started)
+	}
+	return s
+}
+
 // PerClass breaks the trace down by workload class, sorted by consumed
 // node-hours descending — the "who actually uses the machine, and how
-// well" table behind the figures.
+// well" table behind the figures. It is a one-shot wrapper over
+// ClassCollector.
 func PerClass(jobs []slurm.Record) []ClassSummary {
-	type acc struct {
-		jobs      int
-		nodeHours float64
-		waits     []float64
-		nodes     []float64
-		ratios    []float64
-		bad       int
-		backfill  int
-		started   int
-	}
-	byClass := map[string]*acc{}
+	c := NewClassCollector()
 	for i := range jobs {
-		r := &jobs[i]
-		if r.IsStep() {
-			continue
-		}
-		class := r.Comment
-		if class == "" {
-			class = "(untagged)"
-		}
-		a, ok := byClass[class]
-		if !ok {
-			a = &acc{}
-			byClass[class] = a
-		}
-		a.jobs++
-		a.nodes = append(a.nodes, float64(r.NNodes))
-		switch r.State {
-		case slurm.StateFailed, slurm.StateCancelled, slurm.StateNodeFail, slurm.StateOutOfMemory:
-			a.bad++
-		}
-		if r.Start.IsZero() {
-			continue
-		}
-		a.started++
-		a.nodeHours += float64(r.NNodes) * r.Elapsed.Hours()
-		if w, ok := r.WaitTime(); ok {
-			a.waits = append(a.waits, w.Seconds())
-		}
-		if r.Timelimit > 0 {
-			a.ratios = append(a.ratios, float64(r.Elapsed)/float64(r.Timelimit))
-		}
-		if r.Backfilled() {
-			a.backfill++
-		}
+		c.Observe(&jobs[i])
 	}
-	out := make([]ClassSummary, 0, len(byClass))
-	for class, a := range byClass {
-		s := ClassSummary{
-			Class:     class,
-			Jobs:      a.jobs,
-			NodeHours: a.nodeHours,
-		}
-		s.MedianWaitS, _ = stats.Quantile(a.waits, 0.5)
-		s.MedianNodes, _ = stats.Quantile(a.nodes, 0.5)
-		s.MedianUseRatio, _ = stats.Quantile(a.ratios, 0.5)
-		if a.jobs > 0 {
-			s.FailedShare = float64(a.bad) / float64(a.jobs)
-		}
-		if a.started > 0 {
-			s.BackfillShare = float64(a.backfill) / float64(a.started)
-		}
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].NodeHours != out[j].NodeHours {
-			return out[i].NodeHours > out[j].NodeHours
-		}
-		return out[i].Class < out[j].Class
-	})
-	return out
+	return c.Result()
 }

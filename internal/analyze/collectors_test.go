@@ -1,0 +1,216 @@
+package analyze
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"slurmsight/internal/cluster"
+	"slurmsight/internal/sched"
+	"slurmsight/internal/slurm"
+	"slurmsight/internal/tracegen"
+)
+
+// goldenTrace simulates a fixed-seed Frontier workload with steps — the
+// reference input for the single-pass/multi-pass equivalence tests.
+func goldenTrace(t *testing.T) []slurm.Record {
+	t.Helper()
+	p := tracegen.FrontierProfile()
+	p.JobsPerDay, p.Users = 80, 40
+	reqs, err := tracegen.Generate([]tracegen.Phase{{
+		Profile: p, Start: t0, End: t0.AddDate(0, 0, 14),
+	}}, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := sched.New(sched.DefaultConfig(cluster.Frontier()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(reqs, sched.Options{EmitSteps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(append([]slurm.Record{}, res.Jobs...), res.Steps...)
+}
+
+// mustJSON pins byte-level equality between figure payloads.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestBundleMatchesMultiPassBuilders is the golden equivalence test: one
+// Bundle pass over a fixed-seed trace must produce byte-identical figure
+// data to the per-figure multi-pass builders.
+func TestBundleMatchesMultiPassBuilders(t *testing.T) {
+	recs := goldenTrace(t)
+	bucket := 6 * time.Hour
+
+	b := NewBundle(bucket)
+	for i := range recs {
+		b.Observe(&recs[i])
+	}
+
+	if got, want := mustJSON(t, b.Volume.Result()), mustJSON(t, JobStepVolume(recs)); got != want {
+		t.Errorf("Volume diverges:\n got %s\nwant %s", got, want)
+	}
+	if got, want := mustJSON(t, b.Scale.Result()), mustJSON(t, NodesVsElapsed(recs)); got != want {
+		t.Errorf("Scale diverges (%d vs %d points)", len(b.Scale.Result()), len(NodesVsElapsed(recs)))
+	}
+	if got, want := mustJSON(t, b.Waits.Result()), mustJSON(t, WaitTimes(recs)); got != want {
+		t.Errorf("Waits diverges (%d vs %d points)", len(b.Waits.Result()), len(WaitTimes(recs)))
+	}
+	if got, want := mustJSON(t, b.Users.Result(10)), mustJSON(t, StatesPerUser(recs, 10)); got != want {
+		t.Errorf("Users diverges:\n got %s\nwant %s", got, want)
+	}
+	if got, want := mustJSON(t, b.Backfill.Result()), mustJSON(t, RequestedVsActual(recs)); got != want {
+		t.Errorf("Backfill diverges (%d vs %d points)", len(b.Backfill.Result()), len(RequestedVsActual(recs)))
+	}
+	if got, want := b.Reclaim.Result(), ReclaimableNodeHours(recs); got != want {
+		t.Errorf("Reclaimable %v != %v", got, want)
+	}
+	if got, want := mustJSON(t, b.Timeline.Result()), mustJSON(t, Timeline(recs, bucket)); got != want {
+		t.Errorf("Timeline diverges (%d vs %d buckets)", len(b.Timeline.Result()), len(Timeline(recs, bucket)))
+	}
+	if got, want := mustJSON(t, b.Classes.Result()), mustJSON(t, PerClass(recs)); got != want {
+		t.Errorf("Classes diverges:\n got %s\nwant %s", got, want)
+	}
+	if int(b.Records) != len(recs) {
+		t.Errorf("Records = %d, want %d", b.Records, len(recs))
+	}
+	jobs := 0
+	for i := range recs {
+		if !recs[i].IsStep() {
+			jobs++
+		}
+	}
+	if int(b.Jobs) != jobs {
+		t.Errorf("Jobs = %d, want %d", b.Jobs, jobs)
+	}
+}
+
+// TestBundleMergeMatchesSinglePass pins the per-period path the workflow
+// uses: bundles built from consecutive partitions, merged in partition
+// order, must match one bundle fed the whole trace — point data
+// byte-identical, per-year/per-user counts exactly equal.
+func TestBundleMergeMatchesSinglePass(t *testing.T) {
+	recs := goldenTrace(t)
+	bucket := 6 * time.Hour
+
+	whole := NewBundle(bucket)
+	for i := range recs {
+		whole.Observe(&recs[i])
+	}
+
+	merged := NewBundle(bucket)
+	for lo := 0; lo < len(recs); lo += 500 {
+		hi := min(lo+500, len(recs))
+		part := NewBundle(bucket)
+		for i := lo; i < hi; i++ {
+			part.Observe(&recs[i])
+		}
+		merged.Merge(part)
+	}
+
+	if got, want := mustJSON(t, merged.Scale.Result()), mustJSON(t, whole.Scale.Result()); got != want {
+		t.Error("merged Scale diverges from single pass")
+	}
+	if got, want := mustJSON(t, merged.Waits.Result()), mustJSON(t, whole.Waits.Result()); got != want {
+		t.Error("merged Waits diverges from single pass")
+	}
+	if got, want := mustJSON(t, merged.Backfill.Result()), mustJSON(t, whole.Backfill.Result()); got != want {
+		t.Error("merged Backfill diverges from single pass")
+	}
+	if !reflect.DeepEqual(merged.Volume.Result(), whole.Volume.Result()) {
+		t.Error("merged Volume diverges from single pass")
+	}
+	if !reflect.DeepEqual(merged.Users.Result(0), whole.Users.Result(0)) {
+		t.Error("merged Users diverges from single pass")
+	}
+	if got, want := mustJSON(t, merged.Timeline.Result()), mustJSON(t, whole.Timeline.Result()); got != want {
+		t.Error("merged Timeline diverges from single pass")
+	}
+	if merged.Records != whole.Records || merged.Jobs != whole.Jobs {
+		t.Errorf("merged counters %d/%d != %d/%d",
+			merged.Records, merged.Jobs, whole.Records, whole.Jobs)
+	}
+}
+
+// TestFanOutFromScratchStream drives collectors from a stream that
+// reuses one scratch record, the aliasing regime of RecordReader: the
+// collectors must copy what they retain.
+func TestFanOutFromScratchStream(t *testing.T) {
+	jobs := fixedJobs()
+	var scratch slurm.Record
+	seq := slurm.RecordSeq(func(yield func(*slurm.Record, error) bool) {
+		for i := range jobs {
+			scratch = jobs[i] // overwrite shared scratch each step
+			if !yield(&scratch, nil) {
+				return
+			}
+		}
+	})
+	users := NewUserStatesCollector()
+	scale := NewScaleCollector()
+	if err := FanOut(seq, users, scale); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustJSON(t, users.Result(0)), mustJSON(t, StatesPerUser(jobs, 0)); got != want {
+		t.Errorf("fan-out users diverge:\n got %s\nwant %s", got, want)
+	}
+	if got, want := mustJSON(t, scale.Result()), mustJSON(t, NodesVsElapsed(jobs)); got != want {
+		t.Errorf("fan-out scale diverges:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestFanOutPropagatesTerminalError(t *testing.T) {
+	boom := slurm.RecordSeq(func(yield func(*slurm.Record, error) bool) {
+		r := fixedJobs()[0]
+		if !yield(&r, nil) {
+			return
+		}
+		yield(nil, errSentinel)
+	})
+	c := NewVolumeCollector()
+	if err := FanOut(boom, c); err != errSentinel {
+		t.Errorf("FanOut error = %v, want sentinel", err)
+	}
+	if vols := c.Result(); len(vols) != 1 || vols[0].Jobs != 1 {
+		t.Errorf("pre-error observations lost: %+v", vols)
+	}
+}
+
+var errSentinel = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "sentinel" }
+
+// TestTimelineCollectorCache pins that Result is cached until new data
+// arrives.
+func TestTimelineCollectorCache(t *testing.T) {
+	jobs := fixedJobs()
+	c := NewTimelineCollector(time.Hour)
+	for i := range jobs {
+		c.Observe(&jobs[i])
+	}
+	first := c.Result()
+	second := c.Result()
+	if len(first) == 0 || &first[0] != &second[0] {
+		t.Error("Result not cached across calls")
+	}
+	c.Observe(&jobs[0])
+	third := c.Result()
+	if len(third) != 0 && len(first) != 0 && &third[0] == &first[0] {
+		t.Error("cache not invalidated by Observe")
+	}
+	if c.Bucket() != time.Hour {
+		t.Errorf("Bucket = %v", c.Bucket())
+	}
+}

@@ -22,29 +22,13 @@ type VolumeByYear struct {
 
 // JobStepVolume bins records into per-year job and step counts. Pass the
 // full record set (jobs and steps mixed); steps are recognised by their
-// IDs.
+// IDs. It is a one-shot wrapper over VolumeCollector.
 func JobStepVolume(records []slurm.Record) []VolumeByYear {
-	byYear := map[int]*VolumeByYear{}
+	c := NewVolumeCollector()
 	for i := range records {
-		r := &records[i]
-		y := r.Year()
-		v, ok := byYear[y]
-		if !ok {
-			v = &VolumeByYear{Year: y}
-			byYear[y] = v
-		}
-		if r.IsStep() {
-			v.Steps++
-		} else {
-			v.Jobs++
-		}
+		c.Observe(&records[i])
 	}
-	out := make([]VolumeByYear, 0, len(byYear))
-	for _, v := range byYear {
-		out = append(out, *v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Year < out[j].Year })
-	return out
+	return c.Result()
 }
 
 // JobStepVolumeCounted bins job records by year using pre-counted step
@@ -92,21 +76,14 @@ type NodesElapsedPoint struct {
 }
 
 // NodesVsElapsed extracts the allocation-versus-runtime scatter from job
-// records. Jobs that never started are skipped (no elapsed time).
+// records. Jobs that never started are skipped (no elapsed time). It is
+// a one-shot wrapper over ScaleCollector.
 func NodesVsElapsed(jobs []slurm.Record) []NodesElapsedPoint {
-	out := make([]NodesElapsedPoint, 0, len(jobs))
+	c := ScaleCollector{points: make([]NodesElapsedPoint, 0, len(jobs))}
 	for i := range jobs {
-		r := &jobs[i]
-		if r.IsStep() || r.Start.IsZero() || r.Elapsed <= 0 {
-			continue
-		}
-		out = append(out, NodesElapsedPoint{
-			Nodes:      r.NNodes,
-			ElapsedSec: r.Elapsed.Seconds(),
-			State:      r.State,
-		})
+		c.Observe(&jobs[i])
 	}
-	return out
+	return c.Result()
 }
 
 // WaitPoint is one Figure 4 scatter point: submission time on x, queue
@@ -118,21 +95,14 @@ type WaitPoint struct {
 }
 
 // WaitTimes extracts queue waits from job records; never-started jobs are
-// skipped (they have no wait).
+// skipped (they have no wait). It is a one-shot wrapper over
+// WaitCollector.
 func WaitTimes(jobs []slurm.Record) []WaitPoint {
-	out := make([]WaitPoint, 0, len(jobs))
+	c := WaitCollector{points: make([]WaitPoint, 0, len(jobs))}
 	for i := range jobs {
-		r := &jobs[i]
-		if r.IsStep() {
-			continue
-		}
-		w, ok := r.WaitTime()
-		if !ok {
-			continue
-		}
-		out = append(out, WaitPoint{Submit: r.Submit, WaitSec: w.Seconds(), State: r.State})
+		c.Observe(&jobs[i])
 	}
-	return out
+	return c.Result()
 }
 
 // UserStates is one Figure 5/8 stacked bar: a user's terminal-state mix.
@@ -153,36 +123,14 @@ func (u *UserStates) FailedShare() float64 {
 }
 
 // StatesPerUser aggregates terminal states per user, sorted by job count
-// descending. topN ≤ 0 keeps every user.
+// descending. topN ≤ 0 keeps every user. It is a one-shot wrapper over
+// UserStatesCollector.
 func StatesPerUser(jobs []slurm.Record, topN int) []UserStates {
-	byUser := map[string]*UserStates{}
+	c := NewUserStatesCollector()
 	for i := range jobs {
-		r := &jobs[i]
-		if r.IsStep() {
-			continue
-		}
-		u, ok := byUser[r.User]
-		if !ok {
-			u = &UserStates{User: r.User, Counts: map[slurm.State]int{}}
-			byUser[r.User] = u
-		}
-		u.Counts[r.State]++
-		u.Total++
+		c.Observe(&jobs[i])
 	}
-	out := make([]UserStates, 0, len(byUser))
-	for _, u := range byUser {
-		out = append(out, *u)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Total != out[j].Total {
-			return out[i].Total > out[j].Total
-		}
-		return out[i].User < out[j].User
-	})
-	if topN > 0 && len(out) > topN {
-		out = out[:topN]
-	}
-	return out
+	return c.Result(topN)
 }
 
 // BackfillPoint is one Figure 6/9 scatter point.
@@ -194,20 +142,12 @@ type BackfillPoint struct {
 }
 
 // RequestedVsActual extracts the walltime-estimation scatter from job
-// records; never-started jobs are skipped.
+// records; never-started jobs are skipped. It is a one-shot wrapper over
+// BackfillCollector.
 func RequestedVsActual(jobs []slurm.Record) []BackfillPoint {
-	out := make([]BackfillPoint, 0, len(jobs))
+	c := BackfillCollector{points: make([]BackfillPoint, 0, len(jobs))}
 	for i := range jobs {
-		r := &jobs[i]
-		if r.IsStep() || r.Start.IsZero() || r.Timelimit <= 0 {
-			continue
-		}
-		out = append(out, BackfillPoint{
-			RequestedSec: r.Timelimit.Seconds(),
-			ActualSec:    r.Elapsed.Seconds(),
-			Backfilled:   r.Backfilled(),
-			State:        r.State,
-		})
+		c.Observe(&jobs[i])
 	}
-	return out
+	return c.Result()
 }

@@ -60,20 +60,14 @@ type BackfillSummary struct {
 
 // ReclaimableNodeHours sums nodes·(requested − actual) over started jobs —
 // the capacity a perfect walltime predictor would hand back to the
-// scheduler, grounding the paper's time-reclamation recommendation.
+// scheduler, grounding the paper's time-reclamation recommendation. It is
+// a one-shot wrapper over ReclaimableCollector.
 func ReclaimableNodeHours(jobs []slurm.Record) float64 {
-	total := 0.0
+	c := NewReclaimableCollector()
 	for i := range jobs {
-		r := &jobs[i]
-		if r.IsStep() || r.Start.IsZero() {
-			continue
-		}
-		slack := r.WalltimeSlack()
-		if slack > 0 {
-			total += float64(r.NNodes) * slack.Hours()
-		}
+		c.Observe(&jobs[i])
 	}
-	return total
+	return c.Result()
 }
 
 // SummarizeBackfill computes the Figure 6/9 summary.

@@ -16,47 +16,97 @@ type TimelinePoint struct {
 	Submitted  int     // jobs submitted in the bucket
 }
 
-// Timeline reconstructs system load from job records: for each bucket of
-// the given width it reports average allocated nodes, average queue depth
-// (submitted-but-not-started jobs), and dispatch/submission counts. It is
-// the utilization view sysadmins read next to the paper's figures.
-func Timeline(jobs []slurm.Record, bucket time.Duration) []TimelinePoint {
+// tlEdge is one state-change event in the load reconstruction.
+type tlEdge struct {
+	at    time.Time
+	nodes int64 // ± allocation
+	queue int   // ± queue depth
+	start bool
+	sub   bool
+}
+
+// TimelineCollector folds job records into load-timeline edges. Unlike
+// the scatter collectors its state is O(jobs) edges rather than bounded
+// figure state: the sweep needs every lifecycle event, so this is the
+// one place the streaming pipeline still collects (see DESIGN.md §5).
+// Result runs the bucket sweep and caches it until the next Observe or
+// Merge.
+type TimelineCollector struct {
+	bucket time.Duration
+	edges  []tlEdge
+	lo, hi time.Time
+	cached []TimelinePoint
+	dirty  bool
+}
+
+// NewTimelineCollector returns an empty collector with the given bucket
+// width (≤ 0 defaults to one hour).
+func NewTimelineCollector(bucket time.Duration) *TimelineCollector {
 	if bucket <= 0 {
 		bucket = time.Hour
 	}
-	type edge struct {
-		at    time.Time
-		nodes int64 // ± allocation
-		queue int   // ± queue depth
-		start bool
-		sub   bool
+	return &TimelineCollector{bucket: bucket}
+}
+
+// Bucket returns the collector's bucket width.
+func (c *TimelineCollector) Bucket() time.Duration { return c.bucket }
+
+// Observe implements Collector; steps and submit-less records are
+// skipped.
+func (c *TimelineCollector) Observe(r *slurm.Record) {
+	if r.IsStep() || r.Submit.IsZero() {
+		return
 	}
-	var edges []edge
-	var lo, hi time.Time
-	for i := range jobs {
-		r := &jobs[i]
-		if r.IsStep() || r.Submit.IsZero() {
-			continue
-		}
-		if lo.IsZero() || r.Submit.Before(lo) {
-			lo = r.Submit
-		}
-		endOfLife := r.End
-		if endOfLife.IsZero() {
-			endOfLife = r.Submit
-		}
-		if endOfLife.After(hi) {
-			hi = endOfLife
-		}
-		edges = append(edges, edge{at: r.Submit, queue: +1, sub: true})
-		if r.Start.IsZero() {
-			// Never ran: leaves the queue at its end (cancellation).
-			edges = append(edges, edge{at: endOfLife, queue: -1})
-			continue
-		}
-		edges = append(edges, edge{at: r.Start, queue: -1, nodes: +r.NNodes, start: true})
-		edges = append(edges, edge{at: r.End, nodes: -r.NNodes})
+	c.dirty = true
+	if c.lo.IsZero() || r.Submit.Before(c.lo) {
+		c.lo = r.Submit
 	}
+	endOfLife := r.End
+	if endOfLife.IsZero() {
+		endOfLife = r.Submit
+	}
+	if endOfLife.After(c.hi) {
+		c.hi = endOfLife
+	}
+	c.edges = append(c.edges, tlEdge{at: r.Submit, queue: +1, sub: true})
+	if r.Start.IsZero() {
+		// Never ran: leaves the queue at its end (cancellation).
+		c.edges = append(c.edges, tlEdge{at: endOfLife, queue: -1})
+		return
+	}
+	c.edges = append(c.edges, tlEdge{at: r.Start, queue: -1, nodes: +r.NNodes, start: true})
+	c.edges = append(c.edges, tlEdge{at: r.End, nodes: -r.NNodes})
+}
+
+// Merge appends another collector's edges (in their observation order)
+// and widens the time extent.
+func (c *TimelineCollector) Merge(o *TimelineCollector) {
+	if len(o.edges) == 0 {
+		return
+	}
+	c.dirty = true
+	c.edges = append(c.edges, o.edges...)
+	if c.lo.IsZero() || (!o.lo.IsZero() && o.lo.Before(c.lo)) {
+		c.lo = o.lo
+	}
+	if o.hi.After(c.hi) {
+		c.hi = o.hi
+	}
+}
+
+// Result runs the bucket sweep over the collected edges. The slice is
+// cached across calls; callers must not modify it.
+func (c *TimelineCollector) Result() []TimelinePoint {
+	if !c.dirty {
+		return c.cached
+	}
+	c.dirty = false
+	c.cached = c.sweep()
+	return c.cached
+}
+
+func (c *TimelineCollector) sweep() []TimelinePoint {
+	edges, lo, hi, bucket := c.edges, c.lo, c.hi, c.bucket
 	if len(edges) == 0 || !lo.Before(hi) {
 		return nil
 	}
@@ -111,6 +161,19 @@ func Timeline(jobs []slurm.Record, bucket time.Duration) []TimelinePoint {
 	}
 	accumulate(hi)
 	return points
+}
+
+// Timeline reconstructs system load from job records: for each bucket of
+// the given width it reports average allocated nodes, average queue depth
+// (submitted-but-not-started jobs), and dispatch/submission counts. It is
+// the utilization view sysadmins read next to the paper's figures, and a
+// one-shot wrapper over TimelineCollector.
+func Timeline(jobs []slurm.Record, bucket time.Duration) []TimelinePoint {
+	c := NewTimelineCollector(bucket)
+	for i := range jobs {
+		c.Observe(&jobs[i])
+	}
+	return c.Result()
 }
 
 // UtilizationSummary condenses a timeline against a system capacity.

@@ -81,7 +81,12 @@ func volumeChartOf(system string, vols []analyze.VolumeByYear) *plot.Chart {
 
 // NodesElapsedChart builds the Figure 3/7 log-log scatter.
 func NodesElapsedChart(system string, jobs []slurm.Record) *plot.Chart {
-	points := analyze.NodesVsElapsed(jobs)
+	return NodesElapsedChartPoints(system, analyze.NodesVsElapsed(jobs))
+}
+
+// NodesElapsedChartPoints builds Figure 3/7 from pre-collected points
+// (the streaming pipeline's ScaleCollector output).
+func NodesElapsedChartPoints(system string, points []analyze.NodesElapsedPoint) *plot.Chart {
 	perState := map[slurm.State]*plot.Series{}
 	for _, p := range points {
 		s, ok := perState[p.State]
@@ -104,7 +109,12 @@ func NodesElapsedChart(system string, jobs []slurm.Record) *plot.Chart {
 // WaitChart builds the Figure 4 wait-time scatter, colour-coded by final
 // state.
 func WaitChart(system string, jobs []slurm.Record) *plot.Chart {
-	points := analyze.WaitTimes(jobs)
+	return WaitChartPoints(system, analyze.WaitTimes(jobs))
+}
+
+// WaitChartPoints builds Figure 4 from pre-collected points (the
+// streaming pipeline's WaitCollector output).
+func WaitChartPoints(system string, points []analyze.WaitPoint) *plot.Chart {
 	perState := map[slurm.State]*plot.Series{}
 	for _, p := range points {
 		s, ok := perState[p.State]
@@ -132,7 +142,12 @@ func WaitChart(system string, jobs []slurm.Record) *plot.Chart {
 // StatesChart builds the Figure 5/8 stacked bars for the busiest topN
 // users.
 func StatesChart(system string, jobs []slurm.Record, topN int) *plot.Chart {
-	users := analyze.StatesPerUser(jobs, topN)
+	return StatesChartUsers(system, analyze.StatesPerUser(jobs, topN))
+}
+
+// StatesChartUsers builds Figure 5/8 from a pre-aggregated user list
+// (the streaming pipeline's UserStatesCollector output).
+func StatesChartUsers(system string, users []analyze.UserStates) *plot.Chart {
 	cats := make([]string, len(users))
 	series := []plot.Series{}
 	for _, st := range slurm.TerminalStates() {
@@ -161,7 +176,12 @@ func StatesChart(system string, jobs []slurm.Record, topN int) *plot.Chart {
 // BackfillChart builds the Figure 6/9 requested-versus-actual scatter with
 // backfilled jobs marked by plus symbols.
 func BackfillChart(system string, jobs []slurm.Record) *plot.Chart {
-	points := analyze.RequestedVsActual(jobs)
+	return BackfillChartPoints(system, analyze.RequestedVsActual(jobs))
+}
+
+// BackfillChartPoints builds Figure 6/9 from pre-collected points (the
+// streaming pipeline's BackfillCollector output).
+func BackfillChartPoints(system string, points []analyze.BackfillPoint) *plot.Chart {
 	regular := plot.Series{Name: "regular", Marker: plot.Dot, Color: "#1f77b4"}
 	backfilled := plot.Series{Name: "backfilled", Marker: plot.Plus, Color: "#d62728"}
 	for _, p := range points {
@@ -198,7 +218,12 @@ const timelineBucket = 6 * time.Hour
 // LoadTimelineChart builds the extended system-load view: mean busy nodes
 // per bucket with the capacity as a reference series.
 func LoadTimelineChart(system string, jobs []slurm.Record, capacityNodes int) *plot.Chart {
-	points := analyze.Timeline(jobs, timelineBucket)
+	return LoadTimelineChartPoints(system, analyze.Timeline(jobs, timelineBucket), capacityNodes)
+}
+
+// LoadTimelineChartPoints builds the load view from a pre-swept timeline
+// (the streaming pipeline's TimelineCollector output).
+func LoadTimelineChartPoints(system string, points []analyze.TimelinePoint, capacityNodes int) *plot.Chart {
 	busy := plot.Series{Name: "busy nodes", Color: "#1f77b4"}
 	for _, p := range points {
 		busy.X = append(busy.X, float64(p.At.Unix()))
@@ -223,7 +248,11 @@ func LoadTimelineChart(system string, jobs []slurm.Record, capacityNodes int) *p
 
 // QueueDepthChart builds the extended queue-pressure view.
 func QueueDepthChart(system string, jobs []slurm.Record) *plot.Chart {
-	points := analyze.Timeline(jobs, timelineBucket)
+	return QueueDepthChartPoints(system, analyze.Timeline(jobs, timelineBucket))
+}
+
+// QueueDepthChartPoints builds the queue view from a pre-swept timeline.
+func QueueDepthChartPoints(system string, points []analyze.TimelinePoint) *plot.Chart {
 	depth := plot.Series{Name: "pending jobs", Color: "#ff7f0e"}
 	for _, p := range points {
 		depth.X = append(depth.X, float64(p.At.Unix()))

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"slurmsight/internal/curate"
+	"slurmsight/internal/plot"
+	"slurmsight/internal/sacct"
+	"slurmsight/internal/slurm"
+)
+
+// TestWorkflowSinglePassCounting pins the streaming pipeline's central
+// claim with the curate package's pass counters: a run opens each period
+// file exactly once, and decodes each row exactly once — the CSV sidecar
+// and every figure are fed from that single pass.
+func TestWorkflowSinglePassCounting(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.ExtendedFigures = true
+
+	before := curate.Stats()
+	art, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := curate.Stats()
+
+	if len(art.Fetched) == 0 || art.Curation.Total == 0 {
+		t.Fatalf("degenerate run: %d periods, %d rows", len(art.Fetched), art.Curation.Total)
+	}
+	opened := after.FilesOpened - before.FilesOpened
+	if want := int64(len(art.Fetched)); opened != want {
+		t.Errorf("opened %d period files, want exactly one open per period (%d)", opened, want)
+	}
+	decoded := after.RowsDecoded - before.RowsDecoded
+	if want := int64(art.Curation.Total); decoded != want {
+		t.Errorf("decoded %d rows, want one decode per record (%d): figures must share the pass", decoded, want)
+	}
+}
+
+// TestWorkflowFiguresMatchDirectBuilders is the workflow-level golden
+// test: the figure spec JSON written by the streaming per-period
+// bundle-and-merge path must be byte-identical to charts built the
+// pre-refactor way — every period file curated into one slice, globally
+// sorted by job ID, and handed to the multi-pass builders.
+func TestWorkflowFiguresMatchDirectBuilders(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.ExtendedFigures = true
+	cfg.SystemNodes = 9408
+
+	art, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var paths []string
+	for _, f := range art.Fetched {
+		paths = append(paths, filepath.Join(cfg.CacheDir, sacct.PeriodFileName(f.Period)))
+	}
+	recs, _, err := curate.LoadRecordsFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		return slurm.CompareJobID(recs[i].ID, recs[j].ID) < 0
+	})
+
+	defaults := cfg.withDefaults()
+	want := map[string]*plot.Chart{
+		FigVolume:       VolumeChart(cfg.SystemName, recs),
+		FigNodesElapsed: NodesElapsedChart(cfg.SystemName, recs),
+		FigWaitTimes:    WaitChart(cfg.SystemName, recs),
+		FigStates:       StatesChart(cfg.SystemName, recs, defaults.TopUsers),
+		FigBackfill:     BackfillChart(cfg.SystemName, recs),
+		ExtLoad:         LoadTimelineChart(cfg.SystemName, recs, cfg.SystemNodes),
+		ExtQueueDepth:   QueueDepthChart(cfg.SystemName, recs),
+	}
+	for key, chart := range want {
+		fig := art.Figures[key]
+		if fig == nil {
+			t.Fatalf("figure %s missing from run", key)
+		}
+		got, err := os.ReadFile(fig.SpecPath)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		wantJSON, err := chart.JSON()
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if string(got) != string(wantJSON) {
+			t.Errorf("%s: streaming spec diverges from direct builder (%d vs %d bytes)",
+				key, len(got), len(wantJSON))
+		}
+	}
+}

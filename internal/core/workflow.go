@@ -19,7 +19,6 @@ import (
 	"slurmsight/internal/plot"
 	"slurmsight/internal/raster"
 	"slurmsight/internal/sacct"
-	"slurmsight/internal/slurm"
 )
 
 // Config parameterizes one workflow run, mirroring the paper's
@@ -182,13 +181,19 @@ type Artifacts struct {
 	ReportPath    string // markdown analysis report
 }
 
-// runState is the shared in-memory side of the dataflow run.
+// runState is the shared in-memory side of the dataflow run. The curate
+// stage no longer materialises records: each period task folds its
+// stream into an analyze.Bundle (figure state only), and combine merges
+// the per-period bundles in period order — which, because the streaming
+// store emits records in (submit, job-id) order, reproduces the figure
+// data of the old global-sort-then-rescan path exactly.
 type runState struct {
-	mu      sync.Mutex
-	records []slurm.Record
-	report  curate.Report
-	charts  map[string]*plot.Chart
-	jobs    []slurm.Record
+	mu        sync.Mutex
+	perPeriod []*analyze.Bundle // one slot per period, filled by curate tasks
+	perReport []curate.Report
+	report    curate.Report
+	charts    map[string]*plot.Chart
+	bundle    *analyze.Bundle // merged fan-out state, set by combine
 
 	sumOnce   sync.Once
 	summaries Summaries
@@ -228,7 +233,11 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 		return nil, err
 	}
 
-	st := &runState{charts: map[string]*plot.Chart{}}
+	st := &runState{
+		charts:    map[string]*plot.Chart{},
+		perPeriod: make([]*analyze.Bundle, len(periods)),
+		perReport: make([]curate.Report, len(periods)),
+	}
 	art := &Artifacts{Figures: map[string]*FigureResult{}}
 	fetcher := &sacct.Fetcher{Store: cfg.Store, CacheDir: cfg.CacheDir, Workers: cfg.Workers}
 
@@ -261,8 +270,8 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 
 	recordsReady := filepath.Join(cfg.OutputDir, "records.ready")
 	var csvPaths []string
-	for _, p := range periods {
-		p := p
+	for i, p := range periods {
+		i, p := i, p
 		csv := filepath.Join(cfg.OutputDir, "slurm-"+p+".csv")
 		csvPaths = append(csvPaths, csv)
 		if err := add(dataflow.Task{
@@ -270,18 +279,21 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 			Reads:  []string{periodPath(p)},
 			Writes: []string{csv},
 			Run: func(ctx context.Context) error {
-				if _, err := curate.ToCSVFile(periodPath(p), csv, curate.DefaultOptions()); err != nil {
-					return err
-				}
-				recs, rep, err := curate.LoadRecordsFile(periodPath(p))
-				if err != nil {
-					return err
+				// Single pass: one read of the period file feeds the CSV
+				// sidecar and the figure collectors. The bundle and report
+				// stay attempt-local and commit only on success, so a
+				// retried attempt never half-counts a period.
+				b := analyze.NewBundle(timelineBucket)
+				var rep curate.Report
+				for rec, err := range curate.StreamFile(periodPath(p), csv, curate.DefaultOptions(), &rep) {
+					if err != nil {
+						return err
+					}
+					b.Observe(rec)
 				}
 				st.mu.Lock()
-				st.records = append(st.records, recs...)
-				st.report.Total += rep.Total
-				st.report.Kept += rep.Kept
-				st.report.Malformed += rep.Malformed
+				st.perPeriod[i] = b
+				st.perReport[i] = rep
 				st.mu.Unlock()
 				return nil
 			},
@@ -296,14 +308,20 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 		Writes: []string{recordsReady},
 		Run: func(ctx context.Context) error {
 			st.mu.Lock()
-			sort.SliceStable(st.records, func(i, j int) bool {
-				return slurm.CompareJobID(st.records[i].ID, st.records[j].ID) < 0
-			})
-			for i := range st.records {
-				if !st.records[i].IsStep() {
-					st.jobs = append(st.jobs, st.records[i])
+			merged := analyze.NewBundle(timelineBucket)
+			var rep curate.Report
+			for i, b := range st.perPeriod {
+				if b == nil {
+					continue // period failed under ContinueOnError
 				}
+				merged.Merge(b)
+				rep.Add(st.perReport[i])
 			}
+			// Warm the timeline cache while combine holds the barrier:
+			// downstream plot tasks run concurrently and may only read.
+			merged.Timeline.Result()
+			st.bundle = merged
+			st.report = rep
 			st.mu.Unlock()
 			return os.WriteFile(recordsReady, []byte("ok\n"), 0o644)
 		},
@@ -311,20 +329,22 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 		return nil, err
 	}
 
+	// Chart builders read the merged bundle; the combine task is their
+	// dataflow barrier, after which the bundle is read-only.
 	builders := map[string]func() *plot.Chart{
-		FigVolume:       func() *plot.Chart { return VolumeChart(cfg.SystemName, st.records) },
-		FigNodesElapsed: func() *plot.Chart { return NodesElapsedChart(cfg.SystemName, st.jobs) },
-		FigWaitTimes:    func() *plot.Chart { return WaitChart(cfg.SystemName, st.jobs) },
-		FigStates:       func() *plot.Chart { return StatesChart(cfg.SystemName, st.jobs, cfg.TopUsers) },
-		FigBackfill:     func() *plot.Chart { return BackfillChart(cfg.SystemName, st.jobs) },
+		FigVolume:       func() *plot.Chart { return volumeChartOf(cfg.SystemName, st.bundle.Volume.Result()) },
+		FigNodesElapsed: func() *plot.Chart { return NodesElapsedChartPoints(cfg.SystemName, st.bundle.Scale.Result()) },
+		FigWaitTimes:    func() *plot.Chart { return WaitChartPoints(cfg.SystemName, st.bundle.Waits.Result()) },
+		FigStates:       func() *plot.Chart { return StatesChartUsers(cfg.SystemName, st.bundle.Users.Result(cfg.TopUsers)) },
+		FigBackfill:     func() *plot.Chart { return BackfillChartPoints(cfg.SystemName, st.bundle.Backfill.Result()) },
 	}
 	figureKeys := FigureKeys()
 	if cfg.ExtendedFigures {
 		builders[ExtLoad] = func() *plot.Chart {
-			return LoadTimelineChart(cfg.SystemName, st.jobs, cfg.SystemNodes)
+			return LoadTimelineChartPoints(cfg.SystemName, st.bundle.Timeline.Result(), cfg.SystemNodes)
 		}
 		builders[ExtQueueDepth] = func() *plot.Chart {
-			return QueueDepthChart(cfg.SystemName, st.jobs)
+			return QueueDepthChartPoints(cfg.SystemName, st.bundle.Timeline.Result())
 		}
 		figureKeys = append(figureKeys, ExtendedFigureKeys()...)
 	}
@@ -459,8 +479,7 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 			st.summariesOnce(cfg.SystemNodes)
 			st.mu.Lock()
 			art.Summaries = st.summaries
-			art.Records = len(st.records)
-			art.Jobs = len(st.jobs)
+			art.Records, art.Jobs = st.counts()
 			art.Curation = st.report
 			st.mu.Unlock()
 			return WriteReport(art, cfg.SystemName, art.ReportPath)
@@ -504,8 +523,7 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 	art.CSVPaths = csvPaths
 	art.DashboardPath = dashPath
 	art.Curation = st.report
-	art.Records = len(st.records)
-	art.Jobs = len(st.jobs)
+	art.Records, art.Jobs = st.counts()
 	art.Summaries = st.summariesOnce(cfg.SystemNodes)
 	art.StatusDOTPath = filepath.Join(cfg.OutputDir, "workflow-status.dot")
 	if werr := os.WriteFile(art.StatusDOTPath, []byte(g.DOTTrace(trace)), 0o644); werr != nil && err == nil {
@@ -514,19 +532,33 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 	return art, err
 }
 
+// counts returns the observed record/job totals; the caller holds st.mu
+// or runs after the dataflow has finished.
+func (st *runState) counts() (records, jobs int) {
+	if st.bundle == nil {
+		return 0, 0
+	}
+	return int(st.bundle.Records), int(st.bundle.Jobs)
+}
+
 func summarize(st *runState, capacityNodes int) Summaries {
-	vols := analyze.JobStepVolume(st.records)
+	b := st.bundle
+	if b == nil {
+		// combine never ran (ContinueOnError with a failed ingest path);
+		// summarise the empty bundle so artifact assembly still works.
+		b = analyze.NewBundle(timelineBucket)
+	}
+	vols := b.Volume.Result()
 	return Summaries{
 		Volume:       vols,
 		StepJobRatio: analyze.StepJobRatio(vols),
-		Scale:        analyze.SummarizeScale(analyze.NodesVsElapsed(st.jobs)),
-		Waits:        analyze.SummarizeWaits(analyze.WaitTimes(st.jobs)),
-		Users:        analyze.SummarizeUsers(analyze.StatesPerUser(st.jobs, 0)),
-		Backfill:     analyze.SummarizeBackfill(analyze.RequestedVsActual(st.jobs)),
-		Reclaimable:  analyze.ReclaimableNodeHours(st.jobs),
-		Load: analyze.SummarizeTimeline(
-			analyze.Timeline(st.jobs, timelineBucket), capacityNodes),
-		Classes: analyze.PerClass(st.jobs),
+		Scale:        analyze.SummarizeScale(b.Scale.Result()),
+		Waits:        analyze.SummarizeWaits(b.Waits.Result()),
+		Users:        analyze.SummarizeUsers(b.Users.Result(0)),
+		Backfill:     analyze.SummarizeBackfill(b.Backfill.Result()),
+		Reclaimable:  b.Reclaim.Result(),
+		Load:         analyze.SummarizeTimeline(b.Timeline.Result(), capacityNodes),
+		Classes:      b.Classes.Result(),
 	}
 }
 
@@ -555,22 +587,27 @@ func runInsight(ctx context.Context, cfg Config, st *runState, key string, fig *
 // goes to the LLM with the compare prompt.
 func runCompare(ctx context.Context, cfg Config, st *runState, outPath string) error {
 	st.mu.Lock()
-	jobs := st.jobs
-	st.mu.Unlock()
-	if len(jobs) < 4 {
-		return fmt.Errorf("llm compare: too few jobs (%d)", len(jobs))
+	var points []analyze.WaitPoint
+	if st.bundle != nil {
+		points = st.bundle.Waits.Result()
 	}
-	mid := jobs[len(jobs)/2].Submit
-	var early, late []slurm.Record
-	for _, j := range jobs {
-		if j.Submit.Before(mid) {
-			early = append(early, j)
+	st.mu.Unlock()
+	if len(points) < 4 {
+		return fmt.Errorf("llm compare: too few jobs (%d)", len(points))
+	}
+	// Points arrive in submit order, so the midpoint record splits the
+	// window in half.
+	mid := points[len(points)/2].Submit
+	var early, late []analyze.WaitPoint
+	for _, p := range points {
+		if p.Submit.Before(mid) {
+			early = append(early, p)
 		} else {
-			late = append(late, j)
+			late = append(late, p)
 		}
 	}
-	a := WaitChart(cfg.SystemName+" (first half)", early)
-	b := WaitChart(cfg.SystemName+" (second half)", late)
+	a := WaitChartPoints(cfg.SystemName+" (first half)", early)
+	b := WaitChartPoints(cfg.SystemName+" (second half)", late)
 	pngA, err := raster.PNG(a, cfg.ChartWidth, cfg.ChartHeight)
 	if err != nil {
 		return err

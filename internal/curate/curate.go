@@ -7,13 +7,9 @@
 package curate
 
 import (
-	"bufio"
-	"encoding/csv"
 	"fmt"
 	"io"
-	"os"
 	"strconv"
-	"strings"
 	"time"
 
 	"slurmsight/internal/slurm"
@@ -42,6 +38,13 @@ type Report struct {
 	Malformed int // rows dropped
 }
 
+// Add accumulates another run's counts (e.g. per-period reports).
+func (r *Report) Add(o Report) {
+	r.Total += o.Total
+	r.Kept += o.Kept
+	r.Malformed += o.Malformed
+}
+
 // MalformedFraction returns the dropped share of all rows.
 func (r Report) MalformedFraction() float64 {
 	if r.Total == 0 {
@@ -65,126 +68,62 @@ var countFields = map[string]bool{
 // LoadRecords reads raw pipe-separated text (with its header line),
 // dropping malformed rows, and returns the clean records. This is the
 // in-memory half of the stage: the analytics layer consumes its output.
+// It is a collect-wrapper over Stream; callers that can consume records
+// one at a time should range over Stream instead.
 func LoadRecords(r io.Reader) ([]slurm.Record, Report, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() {
-		return nil, Report{}, fmt.Errorf("curate: input has no header")
-	}
-	fields := strings.Split(strings.TrimSpace(sc.Text()), slurm.Separator)
-	for _, f := range fields {
-		if _, ok := slurm.FieldByName(f); !ok {
-			return nil, Report{}, fmt.Errorf("curate: unknown field %q in header", f)
-		}
-	}
 	var out []slurm.Record
 	var rep Report
-	for sc.Scan() {
-		line := sc.Text()
-		if strings.TrimSpace(line) == "" {
-			continue
-		}
-		rep.Total++
-		rec, err := slurm.DecodeRecord(line, fields)
+	for rec, err := range Stream(r, nil, Options{}, &rep) {
 		if err != nil {
-			rep.Malformed++
-			continue
+			return nil, rep, err
 		}
-		rep.Kept++
 		out = append(out, *rec)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, rep, err
 	}
 	return out, rep, nil
 }
 
-// LoadRecordsFile reads and curates one Obtain-data output file.
+// LoadRecordsFile reads and curates one Obtain-data output file. Errors
+// are attributed to the file's path.
 func LoadRecordsFile(path string) ([]slurm.Record, Report, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, Report{}, err
+	var out []slurm.Record
+	var rep Report
+	for rec, err := range StreamFile(path, "", Options{}, &rep) {
+		if err != nil {
+			return nil, rep, err
+		}
+		out = append(out, *rec)
 	}
-	defer f.Close()
-	return LoadRecords(f)
+	return out, rep, nil
 }
 
 // LoadRecordsFiles curates several files (one per fetched period) into a
-// single record set, accumulating the report.
+// single record set, accumulating the report. A failure carries the
+// offending file's path.
 func LoadRecordsFiles(paths []string) ([]slurm.Record, Report, error) {
 	var all []slurm.Record
 	var rep Report
 	for _, p := range paths {
 		recs, r, err := LoadRecordsFile(p)
+		rep.Add(r)
 		if err != nil {
-			return nil, rep, fmt.Errorf("curate: %s: %w", p, err)
+			return nil, rep, err
 		}
 		all = append(all, recs...)
-		rep.Total += r.Total
-		rep.Kept += r.Kept
-		rep.Malformed += r.Malformed
 	}
 	return all, rep, nil
 }
 
 // ToCSV converts raw pipe-separated text to CSV, dropping malformed rows
-// and applying the normalisations — the on-disk half of the stage.
+// and applying the normalisations — the on-disk half of the stage. It
+// drains Stream with the record consumer discarded.
 func ToCSV(r io.Reader, w io.Writer, opts Options) (Report, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() {
-		return Report{}, fmt.Errorf("curate: input has no header")
-	}
-	fields := strings.Split(strings.TrimSpace(sc.Text()), slurm.Separator)
-	for _, f := range fields {
-		if _, ok := slurm.FieldByName(f); !ok {
-			return Report{}, fmt.Errorf("curate: unknown field %q in header", f)
-		}
-	}
-	cw := csv.NewWriter(w)
-	header := make([]string, len(fields))
-	for i, f := range fields {
-		name := f
-		if opts.DurationsAsMinutes && durationFields[f] {
-			name += "Minutes"
-		}
-		header[i] = name
-	}
-	if err := cw.Write(header); err != nil {
-		return Report{}, err
-	}
 	var rep Report
-	row := make([]string, len(fields))
-	for sc.Scan() {
-		line := sc.Text()
-		if strings.TrimSpace(line) == "" {
-			continue
-		}
-		rep.Total++
-		// Validate the full record first; malformed rows are dropped.
-		if _, err := slurm.DecodeRecord(line, fields); err != nil {
-			rep.Malformed++
-			continue
-		}
-		parts := strings.Split(line, slurm.Separator)
-		for i, f := range fields {
-			v, err := normalise(f, parts[i], opts)
-			if err != nil {
-				// Cannot happen for a row DecodeRecord accepted.
-				return rep, fmt.Errorf("curate: normalising %s: %w", f, err)
-			}
-			row[i] = v
-		}
-		if err := cw.Write(row); err != nil {
+	for _, err := range Stream(r, w, opts, &rep) {
+		if err != nil {
 			return rep, err
 		}
-		rep.Kept++
 	}
-	if err := sc.Err(); err != nil {
-		return rep, err
-	}
-	cw.Flush()
-	return rep, cw.Error()
+	return rep, nil
 }
 
 // normalise applies the per-column unit conversions.
@@ -209,20 +148,13 @@ func normalise(field, value string, opts Options) (string, error) {
 
 // ToCSVFile curates inPath (pipe text) into outPath (CSV).
 func ToCSVFile(inPath, outPath string, opts Options) (Report, error) {
-	in, err := os.Open(inPath)
-	if err != nil {
-		return Report{}, err
+	var rep Report
+	for _, err := range StreamFile(inPath, outPath, opts, &rep) {
+		if err != nil {
+			return rep, err
+		}
 	}
-	defer in.Close()
-	out, err := os.Create(outPath)
-	if err != nil {
-		return Report{}, err
-	}
-	rep, err := ToCSV(bufio.NewReader(in), out, opts)
-	if cerr := out.Close(); err == nil {
-		err = cerr
-	}
-	return rep, err
+	return rep, nil
 }
 
 // MinutesOf is a helper for tests and analytics reading curated CSVs: it

@@ -1,0 +1,157 @@
+package curate
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"slurmsight/internal/slurm"
+)
+
+// PassStats counts the streaming stage's work since process start.
+// Tests pin the data plane's single-pass properties against it: a
+// workflow run over P period files with R clean rows must open exactly
+// P files and decode each input row exactly once.
+type PassStats struct {
+	FilesOpened int64 // period files opened by StreamFile and its wrappers
+	RowsDecoded int64 // data rows decoded (kept + malformed)
+}
+
+var passFiles, passRows atomic.Int64
+
+// Stats returns the cumulative streaming-pass counters.
+func Stats() PassStats {
+	return PassStats{FilesOpened: passFiles.Load(), RowsDecoded: passRows.Load()}
+}
+
+// Stream curates raw pipe-separated text as a record stream: malformed
+// rows are dropped and counted into rep, clean records are yielded one
+// at a time. When csvw is non-nil the normalised CSV rendition of every
+// kept row is written to it in the same pass, so one read of the input
+// serves both the analytics consumer and the on-disk sidecar. Yielded
+// records alias decoder scratch; consumers that retain them must copy.
+// The CSV writer is flushed when the stream ends, including when the
+// consumer stops early; a write error is yielded terminally.
+func Stream(r io.Reader, csvw io.Writer, opts Options, rep *Report) slurm.RecordSeq {
+	return func(yield func(*slurm.Record, error) bool) {
+		rr, err := slurm.NewRecordReader(r)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		fields := rr.Fields()
+		var cw *csv.Writer
+		var row []string
+		if csvw != nil {
+			cw = csv.NewWriter(csvw)
+			header := make([]string, len(fields))
+			for i, f := range fields {
+				name := f
+				if opts.DurationsAsMinutes && durationFields[f] {
+					name += "Minutes"
+				}
+				header[i] = name
+			}
+			if err := cw.Write(header); err != nil {
+				yield(nil, err)
+				return
+			}
+			row = make([]string, len(fields))
+			defer cw.Flush()
+		}
+		for {
+			rec, err := rr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				var rowErr *slurm.RowError
+				if errors.As(err, &rowErr) {
+					passRows.Add(1)
+					rep.Total++
+					rep.Malformed++
+					continue
+				}
+				yield(nil, err)
+				return
+			}
+			passRows.Add(1)
+			rep.Total++
+			if cw != nil {
+				for i, f := range fields {
+					v, err := normalise(f, rr.Row()[i], opts)
+					if err != nil {
+						// Cannot happen for a row the decoder accepted.
+						yield(nil, fmt.Errorf("curate: normalising %s: %w", f, err))
+						return
+					}
+					row[i] = v
+				}
+				if err := cw.Write(row); err != nil {
+					yield(nil, err)
+					return
+				}
+			}
+			rep.Kept++
+			if !yield(rec, nil) {
+				return
+			}
+		}
+		if cw != nil {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				yield(nil, err)
+			}
+		}
+	}
+}
+
+// StreamFile opens one Obtain-data period file exactly once and curates
+// it as a record stream. When csvPath is non-empty the CSV sidecar is
+// written during the same read. The input is closed and the sidecar
+// finalised when the stream is drained (or abandoned); a close or write
+// error surfaces as the stream's terminal error.
+func StreamFile(inPath, csvPath string, opts Options, rep *Report) slurm.RecordSeq {
+	return func(yield func(*slurm.Record, error) bool) {
+		in, err := os.Open(inPath)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		passFiles.Add(1)
+		defer in.Close()
+		var csvOut *os.File
+		var csvw io.Writer
+		if csvPath != "" {
+			csvOut, err = os.Create(csvPath)
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			csvw = csvOut
+		}
+		ok := true // consumer still accepting
+		for rec, err := range Stream(bufio.NewReader(in), csvw, opts, rep) {
+			if err != nil {
+				err = fmt.Errorf("curate: %s: %w", inPath, err)
+			}
+			if !yield(rec, err) {
+				ok = false
+				break
+			}
+			if err != nil {
+				ok = false
+				break
+			}
+		}
+		if csvOut != nil {
+			if cerr := csvOut.Close(); cerr != nil && ok {
+				yield(nil, cerr)
+			}
+		}
+	}
+}

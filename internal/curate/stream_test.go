@@ -1,0 +1,140 @@
+package curate
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStreamSinglePassCSVAndRecords(t *testing.T) {
+	var out bytes.Buffer
+	var rep Report
+	var users []string
+	for rec, err := range Stream(strings.NewReader(sampleWithJunk), &out, DefaultOptions(), &rep) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		users = append(users, rec.User)
+	}
+	if rep.Total != 6 || rep.Kept != 4 || rep.Malformed != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	if strings.Join(users, ",") != "alice,bob,carol,frank" {
+		t.Errorf("users = %v", users)
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != rep.Kept+1 {
+		t.Fatalf("csv rows = %d", len(rows))
+	}
+	if rows[0][3] != "ElapsedMinutes" || rows[1][3] != "90.00" || rows[2][5] != "9400" {
+		t.Errorf("normalisation missing: %v / %v", rows[0], rows[1])
+	}
+}
+
+func TestStreamNilCSVWriter(t *testing.T) {
+	var rep Report
+	n := 0
+	for _, err := range Stream(strings.NewReader(sample), nil, Options{}, &rep) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 3 || rep.Kept != 3 {
+		t.Errorf("n=%d rep=%+v", n, rep)
+	}
+}
+
+func TestStreamEarlyBreakStillFlushesCSV(t *testing.T) {
+	var out bytes.Buffer
+	var rep Report
+	for range Stream(strings.NewReader(sample), &out, Options{}, &rep) {
+		break // consumer abandons after the first record
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header plus the one row that was yielded must have been flushed.
+	if len(rows) != 2 {
+		t.Errorf("flushed rows = %d, want 2", len(rows))
+	}
+}
+
+func TestStreamHeaderError(t *testing.T) {
+	var rep Report
+	sawErr := false
+	for rec, err := range Stream(strings.NewReader("JobID|Mystery\n"), nil, Options{}, &rep) {
+		if rec != nil {
+			t.Errorf("unexpected record %+v", rec)
+		}
+		if err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Error("unknown header field: want terminal error")
+	}
+}
+
+func TestStreamFileErrorsCarryPath(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad-period.txt")
+	if err := os.WriteFile(bad, []byte("JobID|Mystery\n1|2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := LoadRecordsFile(bad)
+	if err == nil || !strings.Contains(err.Error(), "bad-period.txt") {
+		t.Errorf("LoadRecordsFile error lacks path: %v", err)
+	}
+	_, _, err = LoadRecordsFiles([]string{bad})
+	if err == nil || !strings.Contains(err.Error(), "bad-period.txt") {
+		t.Errorf("LoadRecordsFiles error lacks path: %v", err)
+	}
+	_, err = ToCSVFile(bad, filepath.Join(dir, "out.csv"), Options{})
+	if err == nil || !strings.Contains(err.Error(), "bad-period.txt") {
+		t.Errorf("ToCSVFile error lacks path: %v", err)
+	}
+}
+
+func TestStreamFileOpensInputOnce(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "jan.txt")
+	if err := os.WriteFile(in, []byte(sampleWithJunk), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := Stats()
+	var rep Report
+	n := 0
+	for rec, err := range StreamFile(in, filepath.Join(dir, "jan.csv"), DefaultOptions(), &rep) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = rec
+		n++
+	}
+	after := Stats()
+	if opened := after.FilesOpened - before.FilesOpened; opened != 1 {
+		t.Errorf("input opened %d times, want 1", opened)
+	}
+	if decoded := after.RowsDecoded - before.RowsDecoded; decoded != 6 {
+		t.Errorf("rows decoded = %d, want 6 (one pass over kept+malformed)", decoded)
+	}
+	if n != 4 || rep.Kept != 4 {
+		t.Errorf("n=%d rep=%+v", n, rep)
+	}
+	// The CSV sidecar must exist from the same pass.
+	data, err := os.ReadFile(filepath.Join(dir, "jan.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "ElapsedMinutes") {
+		t.Error("sidecar missing normalised header")
+	}
+}

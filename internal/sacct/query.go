@@ -3,6 +3,7 @@ package sacct
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 
@@ -97,22 +98,67 @@ func (s *Store) monthsIn(q *Query) []Month {
 	return out
 }
 
-// Select returns matching records (copies) in shard order.
-func (s *Store) Select(q Query) ([]slurm.Record, error) {
-	_, st, filterState, err := q.validate()
-	if err != nil {
-		return nil, err
+// window narrows a shard to the query's submit-time bounds. Sorted
+// shards (the steady state after Finalize) are binary-searched; a shard
+// still awaiting Finalize falls back to its full extent, since matches
+// re-checks the bounds per record either way.
+func (s *Store) window(shard []slurm.Record, sorted bool, q *Query) (lo, hi int) {
+	lo, hi = 0, len(shard)
+	if !sorted {
+		return lo, hi
 	}
-	var out []slurm.Record
-	for _, m := range s.monthsIn(&q) {
-		s.mu.RLock()
-		shard := s.shards[m]
-		s.mu.RUnlock()
-		for i := range shard {
-			if q.matches(&shard[i], st, filterState) {
-				out = append(out, shard[i])
+	if !q.Start.IsZero() {
+		lo = sort.Search(len(shard), func(i int) bool {
+			return !shard[i].Submit.Before(q.Start)
+		})
+	}
+	if !q.End.IsZero() {
+		hi = lo + sort.Search(len(shard)-lo, func(i int) bool {
+			return !shard[lo+i].Submit.Before(q.End)
+		})
+	}
+	return lo, hi
+}
+
+// Scan streams matching records in emission order without copying them:
+// yielded pointers alias store-owned shard storage, so consumers that
+// retain a record must copy it and must not mutate through the pointer.
+// An invalid query yields a single terminal error. Do not interleave
+// with Add/Ingest.
+func (s *Store) Scan(q Query) slurm.RecordSeq {
+	return func(yield func(*slurm.Record, error) bool) {
+		_, st, filterState, err := q.validate()
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		for _, m := range s.monthsIn(&q) {
+			s.mu.RLock()
+			shard := s.shards[m]
+			sorted := s.sorted[m]
+			s.mu.RUnlock()
+			lo, hi := s.window(shard, sorted, &q)
+			for i := lo; i < hi; i++ {
+				if !q.matches(&shard[i], st, filterState) {
+					continue
+				}
+				if !yield(&shard[i], nil) {
+					return
+				}
 			}
 		}
+	}
+}
+
+// Select returns matching records (copies) in shard order. It is a
+// collect-wrapper over Scan for callers that need an owned slice.
+func (s *Store) Select(q Query) ([]slurm.Record, error) {
+	var out []slurm.Record
+	for r, err := range s.Scan(q) {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
 	}
 	return out, nil
 }
@@ -120,7 +166,7 @@ func (s *Store) Select(q Query) ([]slurm.Record, error) {
 // Write emits matching rows as pipe-separated text with a header, the
 // format the workflow's "Obtain data" stage stores on disk.
 func (s *Store) Write(w io.Writer, q Query) (int, error) {
-	fields, st, filterState, err := q.validate()
+	fields, _, _, err := q.validate()
 	if err != nil {
 		return 0, err
 	}
@@ -128,27 +174,22 @@ func (s *Store) Write(w io.Writer, q Query) (int, error) {
 	sb.WriteString(slurm.Header(fields))
 	sb.WriteByte('\n')
 	n := 0
-	for _, m := range s.monthsIn(&q) {
-		s.mu.RLock()
-		shard := s.shards[m]
-		s.mu.RUnlock()
-		for i := range shard {
-			if !q.matches(&shard[i], st, filterState) {
-				continue
-			}
-			line, err := slurm.EncodeRecord(&shard[i], fields)
-			if err != nil {
+	for r, err := range s.Scan(q) {
+		if err != nil {
+			return n, err
+		}
+		line, err := slurm.EncodeRecord(r, fields)
+		if err != nil {
+			return n, err
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+		n++
+		if sb.Len() > 1<<16 {
+			if _, err := io.WriteString(w, sb.String()); err != nil {
 				return n, err
 			}
-			sb.WriteString(line)
-			sb.WriteByte('\n')
-			n++
-			if sb.Len() > 1<<16 {
-				if _, err := io.WriteString(w, sb.String()); err != nil {
-					return n, err
-				}
-				sb.Reset()
-			}
+			sb.Reset()
 		}
 	}
 	_, err = io.WriteString(w, sb.String())

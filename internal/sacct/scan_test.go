@@ -1,0 +1,224 @@
+package sacct
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"slurmsight/internal/slurm"
+)
+
+// randomStore builds a store of nRecs records with random submit times
+// across a few months, random users/accounts/partitions/states, and a
+// mix of job and step rows.
+func randomStore(rng *rand.Rand, nRecs int) *Store {
+	users := []string{"alice", "bob", "carol", "dave"}
+	accounts := []string{"csc000", "mat101", "bio202"}
+	partitions := []string{"batch", "debug"}
+	states := []slurm.State{slurm.StateCompleted, slurm.StateFailed, slurm.StateCancelled, slurm.StateTimeout}
+	origin := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	st := NewStore()
+	for i := 0; i < nRecs; i++ {
+		id := slurm.NewJobID(int64(100000 + rng.Intn(nRecs)))
+		if rng.Intn(3) == 0 {
+			id = id.WithStep(int64(rng.Intn(4)))
+		}
+		submit := origin.Add(time.Duration(rng.Int63n(int64(100 * 24 * time.Hour))))
+		st.Add(slurm.Record{
+			ID:        id,
+			User:      users[rng.Intn(len(users))],
+			Account:   accounts[rng.Intn(len(accounts))],
+			Partition: partitions[rng.Intn(len(partitions))],
+			State:     states[rng.Intn(len(states))],
+			Submit:    submit,
+			Start:     submit.Add(time.Hour),
+			End:       submit.Add(2 * time.Hour),
+			Elapsed:   time.Hour,
+			NNodes:    int64(1 + rng.Intn(512)),
+		})
+	}
+	return st
+}
+
+// randomQuery draws a query with a random mix of bounds and filters.
+func randomQuery(rng *rand.Rand) Query {
+	origin := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	q := Query{IncludeSteps: rng.Intn(2) == 0}
+	if rng.Intn(3) != 0 {
+		q.Start = origin.Add(time.Duration(rng.Int63n(int64(90 * 24 * time.Hour))))
+	}
+	if rng.Intn(3) != 0 {
+		end := origin.Add(time.Duration(rng.Int63n(int64(110 * 24 * time.Hour))))
+		if !q.Start.IsZero() && !q.Start.Before(end) {
+			end = q.Start.Add(time.Duration(1 + rng.Int63n(int64(30*24*time.Hour))))
+		}
+		q.End = end
+	}
+	if rng.Intn(3) == 0 {
+		q.User = []string{"alice", "bob", "nobody"}[rng.Intn(3)]
+	}
+	if rng.Intn(4) == 0 {
+		q.Account = "csc000"
+	}
+	if rng.Intn(4) == 0 {
+		q.Partition = "debug"
+	}
+	if rng.Intn(4) == 0 {
+		q.State = "COMPLETED"
+	}
+	return q
+}
+
+// bruteSelect is the reference implementation: full scans of every shard
+// in month order, matching each record individually. Scan and Select
+// must agree with it exactly, records and order both.
+func bruteSelect(t *testing.T, s *Store, q Query) []slurm.Record {
+	t.Helper()
+	_, st, filterState, err := q.validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []slurm.Record
+	for _, m := range s.Months() {
+		shard := s.shards[m]
+		for i := range shard {
+			if q.matches(&shard[i], st, filterState) {
+				out = append(out, shard[i])
+			}
+		}
+	}
+	return out
+}
+
+func TestScanSelectAgreeWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		s := randomStore(rng, 200+rng.Intn(400))
+		if trial%2 == 0 {
+			s.Finalize() // exercise both sorted and unsorted shard paths
+		}
+		for qi := 0; qi < 10; qi++ {
+			q := randomQuery(rng)
+			want := bruteSelect(t, s, q)
+
+			got, err := s.Select(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d query %+v: Select %d records, brute force %d",
+					trial, q, len(got), len(want))
+			}
+			var scanned []slurm.Record
+			for r, err := range s.Scan(q) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				scanned = append(scanned, *r)
+			}
+			for i := range want {
+				if got[i].ID != want[i].ID || !got[i].Submit.Equal(want[i].Submit) {
+					t.Fatalf("trial %d: Select[%d] = %v@%v, want %v@%v",
+						trial, i, got[i].ID, got[i].Submit, want[i].ID, want[i].Submit)
+				}
+				if scanned[i].ID != want[i].ID {
+					t.Fatalf("trial %d: Scan[%d] = %v, want %v", trial, i, scanned[i].ID, want[i].ID)
+				}
+			}
+			if len(scanned) != len(want) {
+				t.Fatalf("trial %d: Scan %d records, want %d", trial, len(scanned), len(want))
+			}
+		}
+	}
+}
+
+func TestScanInvalidQuery(t *testing.T) {
+	s := NewStore()
+	sawErr := false
+	for _, err := range s.Scan(Query{Fields: []string{"Mystery"}}) {
+		if err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Error("invalid query: want terminal error from Scan")
+	}
+}
+
+func TestScanEarlyBreak(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randomStore(rng, 100)
+	s.Finalize()
+	n := 0
+	for _, err := range s.Scan(Query{IncludeSteps: true}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n == 5 {
+			break
+		}
+	}
+	if n != 5 {
+		t.Errorf("broke after %d records", n)
+	}
+}
+
+func TestFinalizeSkipsSortedShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := randomStore(rng, 300)
+	s.Finalize()
+	// Round-trip through a dump: records arrive back in sorted order, so
+	// the reloaded store's Finalize must detect every shard as sorted.
+	for _, m := range s.Months() {
+		shard := s.shards[m]
+		if !s.sorted[m] {
+			t.Errorf("shard %v not marked sorted after Finalize", m)
+		}
+		for i := 1; i < len(shard); i++ {
+			if recordLess(&shard[i], &shard[i-1]) {
+				t.Fatalf("shard %v out of order at %d", m, i)
+			}
+		}
+	}
+	// Adding invalidates the flag.
+	s.Add(slurm.Record{ID: slurm.NewJobID(1), Submit: time.Date(2024, 2, 2, 0, 0, 0, 0, time.UTC)})
+	if s.sorted[Month{2024, time.February}] {
+		t.Error("Add did not invalidate the sorted flag")
+	}
+}
+
+// BenchmarkFinalize measures the already-sorted fast path (the common
+// reload-from-dump case) against a shuffled ingest that needs the sort.
+func BenchmarkFinalize(b *testing.B) {
+	build := func(n int, shuffle bool) *Store {
+		rng := rand.New(rand.NewSource(3))
+		recs := make([]slurm.Record, n)
+		origin := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+		for i := range recs {
+			recs[i] = slurm.Record{
+				ID:     slurm.NewJobID(int64(100000 + i)),
+				Submit: origin.Add(time.Duration(i) * time.Second),
+			}
+		}
+		if shuffle {
+			rng.Shuffle(n, func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+		}
+		s := NewStore()
+		s.Add(recs...)
+		return s
+	}
+	for _, bench := range []struct {
+		name    string
+		shuffle bool
+	}{{"presorted", false}, {"shuffled", true}} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := build(50000, bench.shuffle)
+				b.StartTimer()
+				s.Finalize()
+			}
+		})
+	}
+}

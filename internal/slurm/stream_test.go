@@ -1,0 +1,231 @@
+package slurm
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+const streamSample = `JobID|User|State|Elapsed|NNodes
+100001|alice|COMPLETED|01:30:00|128
+100002|bob|FAILED|00:10:00|9.4K
+
+100003|carol|CANCELLED|00:00:00|1
+`
+
+const streamSampleJunk = streamSample +
+	"100004|dave|COMPLE\n" + // missing columns
+	"100005|eve|COMPLETED|xx:yy:zz|4\n" + // bad duration
+	"100006|frank|COMPLETED|00:05:00|2\n"
+
+func TestRecordReaderClean(t *testing.T) {
+	rr, err := NewRecordReader(strings.NewReader(streamSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rr.Fields(); len(got) != 5 || got[0] != "JobID" || got[4] != "NNodes" {
+		t.Errorf("Fields = %v", got)
+	}
+	var users []string
+	var nodes []int64
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		users = append(users, rec.User)
+		nodes = append(nodes, rec.NNodes)
+	}
+	if strings.Join(users, ",") != "alice,bob,carol" {
+		t.Errorf("users = %v", users)
+	}
+	if nodes[1] != 9400 {
+		t.Errorf("K-count not expanded: %v", nodes)
+	}
+}
+
+func TestRecordReaderScratchReuse(t *testing.T) {
+	rr, err := NewRecordReader(strings.NewReader(streamSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := rr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.User != "alice" || first.Elapsed != 90*time.Minute {
+		t.Fatalf("first = %+v", first)
+	}
+	row := rr.Row()
+	if len(row) != 5 || row[1] != "alice" {
+		t.Fatalf("Row = %v", row)
+	}
+	second, err := rr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("scratch record not reused across Next calls")
+	}
+	if first.User != "bob" {
+		t.Errorf("scratch not overwritten: %q", first.User)
+	}
+	if rr.Row()[1] != "bob" {
+		t.Errorf("Row scratch not overwritten: %v", rr.Row())
+	}
+}
+
+func TestRecordReaderRowErrors(t *testing.T) {
+	rr, err := NewRecordReader(strings.NewReader(streamSampleJunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept, malformed int
+	var lines []int
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		var rowErr *RowError
+		if errors.As(err, &rowErr) {
+			malformed++
+			lines = append(lines, rowErr.Line)
+			if rowErr.Error() == "" || rowErr.Unwrap() == nil {
+				t.Error("RowError lacks detail")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = rec
+		kept++
+	}
+	if kept != 4 || malformed != 2 {
+		t.Errorf("kept=%d malformed=%d, want 4/2", kept, malformed)
+	}
+	// streamSample has a blank line before carol, so dave's truncated row
+	// is input line 6 and eve's bad duration line 7.
+	if len(lines) != 2 || lines[0] != 6 || lines[1] != 7 {
+		t.Errorf("RowError lines = %v", lines)
+	}
+}
+
+func TestRecordReaderHeaderErrors(t *testing.T) {
+	if _, err := NewRecordReader(strings.NewReader("")); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, err := NewRecordReader(strings.NewReader("JobID|Mystery\n")); err == nil {
+		t.Error("unknown header field: want error")
+	}
+}
+
+func TestRecordSeqAllAndCollect(t *testing.T) {
+	rr, err := NewRecordReader(strings.NewReader(streamSampleJunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, malformed, err := CollectRecords(rr.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || malformed != 2 {
+		t.Fatalf("collect: %d records, %d malformed", len(recs), malformed)
+	}
+	// Collected records must be copies, not aliases of the scratch.
+	if recs[0].User == recs[1].User {
+		t.Errorf("records alias each other: %+v", recs[:2])
+	}
+	if recs[3].User != "frank" {
+		t.Errorf("last record = %+v", recs[3])
+	}
+}
+
+func TestRecordSeqEarlyBreak(t *testing.T) {
+	rr, err := NewRecordReader(strings.NewReader(streamSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range rr.All() {
+		if e != nil {
+			t.Fatal(e)
+		}
+		n++
+		if n == 2 {
+			break
+		}
+	}
+	if n != 2 {
+		t.Errorf("broke after %d records", n)
+	}
+}
+
+func TestSplitInto(t *testing.T) {
+	buf := make([]string, 0, 4)
+	got := splitInto(buf, "a|b||c")
+	if len(got) != 4 || got[0] != "a" || got[2] != "" || got[3] != "c" {
+		t.Errorf("splitInto = %v", got)
+	}
+	if got = splitInto(got[:0], "solo"); len(got) != 1 || got[0] != "solo" {
+		t.Errorf("splitInto single = %v", got)
+	}
+}
+
+func BenchmarkRecordReaderDecode(b *testing.B) {
+	// One synthetic row over the full curated selection, decoded with the
+	// streaming reader versus the allocating DecodeRecord.
+	fields := SelectedNames()
+	rec := Record{
+		ID: NewJobID(123456), JobName: "bench", User: "alice", Account: "csc000",
+		Cluster: "frontier", Partition: "batch",
+		Submit: time.Date(2024, 3, 1, 10, 0, 0, 0, time.UTC),
+		Start:  time.Date(2024, 3, 1, 11, 0, 0, 0, time.UTC),
+		End:    time.Date(2024, 3, 1, 13, 0, 0, 0, time.UTC),
+		Elapsed: 2 * time.Hour, Timelimit: 4 * time.Hour,
+		NNodes: 128, NCPUs: 8192, State: StateCompleted,
+		Flags: []string{FlagBackfill}, QOS: "normal",
+		TRESReq: TRES{}, TRESUsageInAve: TRES{},
+	}
+	line, err := EncodeRecord(&rec, fields)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := Header(fields) + "\n"
+	const rows = 64
+	for i := 0; i < rows; i++ {
+		input += line + "\n"
+	}
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rr, err := NewRecordReader(strings.NewReader(input))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if _, err := rr.Next(); err == io.EOF {
+					break
+				} else if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("decode-record", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < rows; j++ {
+				if _, err := DecodeRecord(line, fields); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
