@@ -25,6 +25,7 @@ import (
 	"slurmsight/internal/curate"
 	"slurmsight/internal/dataflow"
 	"slurmsight/internal/llm"
+	"slurmsight/internal/obs"
 	"slurmsight/internal/plot"
 	"slurmsight/internal/raster"
 	"slurmsight/internal/sacct"
@@ -620,6 +621,84 @@ func BenchmarkSchedulerScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Observability overhead ---
+
+// BenchmarkObsOverhead quantifies the cost of the obs layer in its two
+// states. The "off" variants run with no registry/tracer — the nil-no-op
+// path every instrumented call site takes by default, which must stay
+// within noise of the uninstrumented PR 3 numbers. The "on" variants
+// attach a live registry (and, for analyze, bundle instrumentation) to
+// measure what a metered production run pays. Tracked in EXPERIMENTS.md
+// "Observability overhead".
+func BenchmarkObsOverhead(b *testing.B) {
+	// Scheduler core: per-event counter increments dominate the delta.
+	start := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	p := tracegen.FrontierProfile()
+	p.JobsPerDay = 600
+	p.Users = 400
+	reqs, err := tracegen.Generate([]tracegen.Phase{{
+		Profile: p, Start: start, End: start.AddDate(0, 0, 31),
+	}}, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schedRun := func(b *testing.B, reg *obs.Registry) {
+		b.ReportMetric(float64(len(reqs)), "requests")
+		for i := 0; i < b.N; i++ {
+			cfg := sched.DefaultConfig(cluster.Frontier())
+			cfg.Metrics = reg
+			sim, err := sched.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Run(reqs, sched.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sched-metrics-off", func(b *testing.B) { schedRun(b, nil) })
+	b.Run("sched-metrics-on", func(b *testing.B) { schedRun(b, obs.NewRegistry()) })
+
+	// Curate+analyze stream: per-row counter increments.
+	f := spread(b)
+	spec := sacct.FetchSpec{
+		Granularity: sacct.Monthly,
+		Start:       start.AddDate(0, -1, 0),
+		End:         start.AddDate(0, 5, 0),
+	}
+	fetcher := &sacct.Fetcher{Store: f.store, CacheDir: b.TempDir(), Workers: 4}
+	files, err := fetcher.Fetch(context.Background(), spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const bucket = 6 * time.Hour
+	analyzeRun := func(b *testing.B, reg *obs.Registry) {
+		for i := 0; i < b.N; i++ {
+			merged := analyze.NewBundle(bucket)
+			merged.Instrument(reg)
+			for _, fl := range files {
+				part := analyze.NewBundle(bucket)
+				part.Instrument(reg)
+				var rep curate.Report
+				opts := curate.DefaultOptions()
+				opts.Metrics = reg
+				for rec, err := range curate.StreamFile(fl.Path, "", opts, &rep) {
+					if err != nil {
+						b.Fatal(err)
+					}
+					part.Observe(rec)
+				}
+				merged.Merge(part)
+			}
+			if merged.Records == 0 {
+				b.Fatal("empty analysis")
+			}
+		}
+	}
+	b.Run("analyze-metrics-off", func(b *testing.B) { analyzeRun(b, nil) })
+	b.Run("analyze-metrics-on", func(b *testing.B) { analyzeRun(b, obs.NewRegistry()) })
 }
 
 // --- Ablations ---

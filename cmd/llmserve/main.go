@@ -11,13 +11,27 @@
 //
 //	llmserve -addr :9090 -key sk-local-dev \
 //	  -fault-429 0.2 -fault-500 0.1 -fault-stall 0.05 -fault-seed 7
+//
+// The server exposes its own operational surface alongside the API:
+// Prometheus-style counters at /metrics, expvar at /debug/vars, and the
+// standard pprof profiles under /debug/pprof/. SIGINT/SIGTERM drain
+// in-flight requests before exit (-grace bounds the drain).
 package main
 
 import (
+	"context"
+	"errors"
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
+
+	"slurmsight/internal/obs"
 )
 
 func main() {
@@ -29,6 +43,7 @@ func main() {
 		key   = flag.String("key", "", "API key (empty disables auth)")
 		rate  = flag.Float64("rate", 10, "requests per second per key (0 disables limiting)")
 		burst = flag.Float64("burst", 20, "rate-limit burst size")
+		grace = flag.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
 
 		fault429   = flag.Float64("fault-429", 0, "probability of an injected 429 per request")
 		fault500   = flag.Float64("fault-500", 0, "probability of an injected 500 per request")
@@ -56,11 +71,52 @@ func main() {
 			*fault429, *fault500, *faultStall, *faultSeed)
 		handler = faults.Middleware(handler)
 	}
-	log.Printf("serving the %s analyst on %s", server.ModelName, *addr)
+
+	// Metrics wrap the fault middleware so injected 429/500s are counted
+	// exactly as clients see them.
+	metrics := obs.NewRegistry()
+	metrics.PublishExpvar("llmserve")
+	mux := http.NewServeMux()
+	mux.Handle("/", instrument(metrics, handler))
+	mux.Handle("/metrics", metrics.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           handler,
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Fatal(httpServer.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving the %s analyst on %s (metrics: /metrics, profiles: /debug/pprof/)",
+			server.ModelName, *addr)
+		errCh <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		// Bind failure or another listener error before any signal.
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills hard
+		log.Printf("shutting down (draining in-flight requests, %s budget)", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		log.Printf("bye")
+	}
 }

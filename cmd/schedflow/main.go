@@ -29,6 +29,7 @@ import (
 	"slurmsight/internal/dashboard"
 	"slurmsight/internal/dataflow"
 	"slurmsight/internal/llm"
+	"slurmsight/internal/obs"
 	"slurmsight/internal/sacct"
 )
 
@@ -57,10 +58,12 @@ func main() {
 			"keep independent branches running past a failed task and report every failure")
 		llmRetries = flag.Int("llm-retries", -1, "LLM client retries (-1 = default 3, 0 = none)")
 		llmBackoff = flag.Duration("llm-backoff", 0, "initial LLM retry backoff (0 = client default)")
-		serve    = flag.String("serve", "", "serve the dashboard at this address after the run")
-		extended = flag.Bool("extended", false, "add operator figures (load timeline, queue depth)")
-		nodes    = flag.Int("nodes", 0, "system node capacity for utilization summaries")
-		ask      = flag.String("ask", "", "ask the conversational agent a question after the run")
+		serve      = flag.String("serve", "", "serve the dashboard at this address after the run")
+		extended   = flag.Bool("extended", false, "add operator figures (load timeline, queue depth)")
+		nodes      = flag.Int("nodes", 0, "system node capacity for utilization summaries")
+		ask        = flag.String("ask", "", "ask the conversational agent a question after the run")
+		traceOut   = flag.String("trace-out", "",
+			"write a Chrome trace-event JSON of the run here (load in Perfetto or chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -101,6 +104,12 @@ func main() {
 		TaskBackoff:     *taskBackoff,
 		ContinueOnError: *continueOn,
 	}
+	var metrics *obs.Registry
+	if *traceOut != "" {
+		cfg.Tracer = obs.NewTracer()
+		metrics = obs.NewRegistry()
+		cfg.Metrics = metrics
+	}
 	if *enableAI {
 		if *llmURL == "" {
 			log.Fatal("-ai requires -llm-url")
@@ -110,6 +119,7 @@ func main() {
 		if *llmBackoff > 0 {
 			client.Backoff = *llmBackoff
 		}
+		client.Metrics = metrics
 		cfg.LLM = client
 	}
 
@@ -134,6 +144,15 @@ func main() {
 	log.Printf("dashboard: %s", art.DashboardPath)
 	printSummaries(art)
 
+	if *traceOut != "" {
+		if err := writeChromeTrace(cfg.Tracer, *traceOut); err != nil {
+			log.Fatal(err)
+		}
+		cfg.Tracer.WriteSummary(os.Stderr)
+		log.Printf("run trace: %s (Chrome trace-event JSON; machine-readable task trace: %s)",
+			*traceOut, art.TraceJSONPath)
+	}
+
 	if *ask != "" {
 		agent := llm.NewAgent(art.Facts(*system))
 		reply := agent.Ask(*ask, "")
@@ -145,14 +164,32 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		mux := http.NewServeMux()
+		mux.Handle("/", srv.Handler())
+		if metrics != nil {
+			mux.Handle("/metrics", metrics.Handler())
+		}
 		log.Printf("serving dashboard on %s", *serve)
 		httpServer := &http.Server{
 			Addr:              *serve,
-			Handler:           srv.Handler(),
+			Handler:           mux,
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		log.Fatal(httpServer.ListenAndServe())
 	}
+}
+
+// writeChromeTrace exports the run's spans in Chrome trace-event format.
+func writeChromeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseDates accepts 2024-01:2024-12 (month granularity) or full dates.

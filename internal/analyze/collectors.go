@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"slurmsight/internal/obs"
 	"slurmsight/internal/slurm"
 )
 
@@ -359,6 +360,21 @@ type Bundle struct {
 	Reclaim  *ReclaimableCollector
 	Timeline *TimelineCollector
 	Classes  *ClassCollector
+
+	observed  *obs.Counter   // records fanned out, nil when uninstrumented
+	mergeHist *obs.Histogram // collector merge wall time
+}
+
+// Instrument points the bundle at a metrics registry: Observe counts
+// records under analyze_records_observed_total and Merge times the
+// collector fold into analyze_merge_seconds. A nil registry (or never
+// calling Instrument) leaves the bundle unmetered at zero cost.
+func (b *Bundle) Instrument(m *obs.Registry) {
+	if m == nil {
+		return
+	}
+	b.observed = m.Counter("analyze_records_observed_total")
+	b.mergeHist = m.Histogram("analyze_merge_seconds", obs.LatencyBuckets)
 }
 
 // NewBundle returns a bundle with every collector empty. bucket sets the
@@ -378,6 +394,7 @@ func NewBundle(bucket time.Duration) *Bundle {
 
 // Observe feeds one record to every collector.
 func (b *Bundle) Observe(r *slurm.Record) {
+	b.observed.Inc()
 	b.Records++
 	if !r.IsStep() {
 		b.Jobs++
@@ -394,6 +411,9 @@ func (b *Bundle) Observe(r *slurm.Record) {
 
 // Merge folds another bundle into this one.
 func (b *Bundle) Merge(o *Bundle) {
+	if b.mergeHist != nil {
+		defer b.mergeHist.ObserveSince(time.Now())
+	}
 	b.Records += o.Records
 	b.Jobs += o.Jobs
 	b.Volume.Merge(o.Volume)

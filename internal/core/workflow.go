@@ -16,6 +16,7 @@ import (
 	"slurmsight/internal/curate"
 	"slurmsight/internal/dataflow"
 	"slurmsight/internal/llm"
+	"slurmsight/internal/obs"
 	"slurmsight/internal/plot"
 	"slurmsight/internal/raster"
 	"slurmsight/internal/sacct"
@@ -68,6 +69,16 @@ type Config struct {
 	// SystemNodes is the capacity used by the utilization summary and
 	// the timeline capacity line (0 leaves utilization unset).
 	SystemNodes int
+
+	// Tracer, when non-nil, records a hierarchical span per workflow
+	// stage (curate, analyze, render, LLM) on top of the dataflow
+	// engine's per-task spans; export it with obs.WriteChromeTrace. Nil
+	// disables tracing.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, collects run counters (curate rows,
+	// analyze merges, dataflow attempts, LLM calls) into one registry
+	// servable at /metrics. Nil disables collection.
+	Metrics *obs.Registry
 }
 
 func (c *Config) withDefaults() Config {
@@ -177,6 +188,7 @@ type Artifacts struct {
 	Summaries     Summaries
 	Trace         *dataflow.Trace
 	StatusDOTPath string // post-run DOT annotated with task outcomes
+	TraceJSONPath string // machine-readable run trace (stable schema)
 	FactsPath     string // grounded agent facts (JSON)
 	ReportPath    string // markdown analysis report
 }
@@ -206,6 +218,20 @@ func (st *runState) summariesOnce(capacityNodes int) Summaries {
 		st.summaries = summarize(st, capacityNodes)
 	})
 	return st.summaries
+}
+
+// annotate tags the current task's span (put on the context by the
+// dataflow executor) with its workflow stage and any extra key/value
+// pairs. A no-op when tracing is off.
+func annotate(ctx context.Context, stage string, kv ...string) {
+	sp := obs.SpanFromContext(ctx)
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("stage", stage)
+	for i := 0; i+1 < len(kv); i += 2 {
+		sp.SetAttr(kv[i], kv[i+1])
+	}
 }
 
 // Run executes the full hybrid workflow.
@@ -259,6 +285,7 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 			if err != nil {
 				return err
 			}
+			annotate(ctx, "obtain", "periods", fmt.Sprint(len(files)))
 			st.mu.Lock()
 			art.Fetched = files
 			st.mu.Unlock()
@@ -284,13 +311,19 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 				// stay attempt-local and commit only on success, so a
 				// retried attempt never half-counts a period.
 				b := analyze.NewBundle(timelineBucket)
+				b.Instrument(cfg.Metrics)
 				var rep curate.Report
-				for rec, err := range curate.StreamFile(periodPath(p), csv, curate.DefaultOptions(), &rep) {
+				opts := curate.DefaultOptions()
+				opts.Metrics = cfg.Metrics
+				for rec, err := range curate.StreamFile(periodPath(p), csv, opts, &rep) {
 					if err != nil {
 						return err
 					}
 					b.Observe(rec)
 				}
+				annotate(ctx, "curate", "period", p,
+					"rows_kept", fmt.Sprint(rep.Kept),
+					"rows_malformed", fmt.Sprint(rep.Malformed))
 				st.mu.Lock()
 				st.perPeriod[i] = b
 				st.perReport[i] = rep
@@ -307,8 +340,10 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 		Reads:  csvPaths,
 		Writes: []string{recordsReady},
 		Run: func(ctx context.Context) error {
+			annotate(ctx, "analyze", "periods", fmt.Sprint(len(periods)))
 			st.mu.Lock()
 			merged := analyze.NewBundle(timelineBucket)
+			merged.Instrument(cfg.Metrics)
 			var rep curate.Report
 			for i, b := range st.perPeriod {
 				if b == nil {
@@ -363,6 +398,7 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 			Reads:  []string{recordsReady},
 			Writes: []string{fig.HTMLPath, fig.SpecPath},
 			Run: func(ctx context.Context) error {
+				annotate(ctx, "render", "figure", key)
 				chart := builders[key]()
 				st.mu.Lock()
 				st.charts[key] = chart
@@ -391,6 +427,7 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 		Reads:  htmlPaths,
 		Writes: []string{dashPath},
 		Run: func(ctx context.Context) error {
+			annotate(ctx, "render")
 			return os.WriteFile(dashPath, dashboardIndex(cfg.SystemName, art), 0o644)
 		},
 	}); err != nil {
@@ -413,6 +450,7 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 				Reads:  []string{fig.HTMLPath},
 				Writes: []string{fig.PNGPath},
 				Run: func(ctx context.Context) error {
+					annotate(ctx, "render", "figure", key)
 					return raster.FromHTMLFile(fig.HTMLPath, fig.PNGPath, cfg.ChartWidth, cfg.ChartHeight)
 				},
 			}); err != nil {
@@ -423,6 +461,7 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 				Reads:  []string{fig.PNGPath, fig.SpecPath},
 				Writes: []string{fig.InsightPath},
 				Run: func(ctx context.Context) error {
+					annotate(ctx, "llm", "figure", key)
 					return runInsight(ctx, cfg, st, key, fig)
 				},
 			}); err != nil {
@@ -435,6 +474,7 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 			Reads:  []string{recordsReady},
 			Writes: []string{art.ComparePath},
 			Run: func(ctx context.Context) error {
+				annotate(ctx, "llm")
 				return runCompare(ctx, cfg, st, art.ComparePath)
 			},
 		}); err != nil {
@@ -450,6 +490,7 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 		Reads:  []string{recordsReady},
 		Writes: []string{art.FactsPath},
 		Run: func(ctx context.Context) error {
+			annotate(ctx, "emit")
 			st.summariesOnce(cfg.SystemNodes)
 			st.mu.Lock()
 			art.Summaries = st.summaries
@@ -476,6 +517,7 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 		Reads:  reportReads,
 		Writes: []string{art.ReportPath},
 		Run: func(ctx context.Context) error {
+			annotate(ctx, "emit")
 			st.summariesOnce(cfg.SystemNodes)
 			st.mu.Lock()
 			art.Summaries = st.summaries
@@ -494,6 +536,7 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 		Name:   "export-dataflow",
 		Writes: []string{art.DOTPath},
 		Run: func(ctx context.Context) error {
+			annotate(ctx, "emit")
 			return os.WriteFile(art.DOTPath, []byte(g.DOT()), 0o644)
 		},
 	}); err != nil {
@@ -509,6 +552,8 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 			Jitter:          0.2,
 			ContinueOnError: cfg.ContinueOnError,
 		},
+		Tracer:  cfg.Tracer,
+		Metrics: cfg.Metrics,
 	}
 	trace, err := ex.Run(ctx, g)
 	var runErr *dataflow.RunError
@@ -527,6 +572,14 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 	art.Summaries = st.summariesOnce(cfg.SystemNodes)
 	art.StatusDOTPath = filepath.Join(cfg.OutputDir, "workflow-status.dot")
 	if werr := os.WriteFile(art.StatusDOTPath, []byte(g.DOTTrace(trace)), 0o644); werr != nil && err == nil {
+		err = werr
+	}
+	art.TraceJSONPath = filepath.Join(cfg.OutputDir, "workflow-trace.json")
+	if data, jerr := trace.JSON(); jerr != nil {
+		if err == nil {
+			err = jerr
+		}
+	} else if werr := os.WriteFile(art.TraceJSONPath, data, 0o644); werr != nil && err == nil {
 		err = werr
 	}
 	return art, err

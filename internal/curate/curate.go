@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"slurmsight/internal/obs"
 	"slurmsight/internal/slurm"
 )
 
@@ -24,6 +25,10 @@ type Options struct {
 	// ExpandCounts rewrites abbreviated counts ("9.4K") as plain
 	// integers.
 	ExpandCounts bool
+	// Metrics, when non-nil, counts the stream's work under
+	// curate_rows_read_total / curate_rows_kept_total /
+	// curate_rows_dropped_total.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions matches the paper's preprocessing.

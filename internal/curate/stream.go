@@ -38,6 +38,11 @@ func Stats() PassStats {
 // consumer stops early; a write error is yielded terminally.
 func Stream(r io.Reader, csvw io.Writer, opts Options, rep *Report) slurm.RecordSeq {
 	return func(yield func(*slurm.Record, error) bool) {
+		// Resolve the run instruments once per stream, not per row; on a
+		// nil registry each is nil and every Add below is a free no-op.
+		rowsRead := opts.Metrics.Counter("curate_rows_read_total")
+		rowsKept := opts.Metrics.Counter("curate_rows_kept_total")
+		rowsDropped := opts.Metrics.Counter("curate_rows_dropped_total")
 		rr, err := slurm.NewRecordReader(r)
 		if err != nil {
 			yield(nil, err)
@@ -72,6 +77,8 @@ func Stream(r io.Reader, csvw io.Writer, opts Options, rep *Report) slurm.Record
 				var rowErr *slurm.RowError
 				if errors.As(err, &rowErr) {
 					passRows.Add(1)
+					rowsRead.Inc()
+					rowsDropped.Inc()
 					rep.Total++
 					rep.Malformed++
 					continue
@@ -80,6 +87,7 @@ func Stream(r io.Reader, csvw io.Writer, opts Options, rep *Report) slurm.Record
 				return
 			}
 			passRows.Add(1)
+			rowsRead.Inc()
 			rep.Total++
 			if cw != nil {
 				for i, f := range fields {
@@ -97,6 +105,7 @@ func Stream(r io.Reader, csvw io.Writer, opts Options, rep *Report) slurm.Record
 				}
 			}
 			rep.Kept++
+			rowsKept.Inc()
 			if !yield(rec, nil) {
 				return
 			}

@@ -12,7 +12,21 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
+
+// fmtSpanDur renders a task duration at a precision that stays readable
+// across microsecond no-op tasks and multi-second stages.
+func fmtSpanDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}
 
 // Task is one workflow stage with declared data dependencies.
 type Task struct {
@@ -193,9 +207,11 @@ func (g *Graph) DOT() string {
 }
 
 // DOTTrace renders the workflow diagram annotated with what actually
-// happened in a run: successful tasks in green, failures in red with
-// their attempt count, skipped tasks dashed grey. This is the post-run
-// companion to DOT — the Figure 2 shape plus the execution record.
+// happened in a run: successful tasks in green with their wall time,
+// failures in red with attempt count and duration, skipped tasks dashed
+// grey. This is the post-run companion to DOT — the Figure 2 shape plus
+// the execution record, and its timings match the run tracer's spans
+// (both measure the same task start/end instants).
 func (g *Graph) DOTTrace(tr *Trace) string {
 	byName := make(map[string]*TaskTrace, len(tr.Tasks))
 	for i := range tr.Tasks {
@@ -211,13 +227,14 @@ func (g *Graph) DOTTrace(tr *Trace) string {
 		case tt.Skipped:
 			fmt.Fprintf(&b, "  %q [color=gray, style=dashed, label=\"%s\\nskipped\"];\n", t.Name, t.Name)
 		case tt.Err != nil:
-			fmt.Fprintf(&b, "  %q [color=red, label=\"%s\\nfailed (%d attempts)\"];\n",
-				t.Name, t.Name, len(tt.Attempts))
+			fmt.Fprintf(&b, "  %q [color=red, label=\"%s\\nfailed (%d attempts, %s)\"];\n",
+				t.Name, t.Name, len(tt.Attempts), fmtSpanDur(tt.End.Sub(tt.Start)))
 		case len(tt.Attempts) > 1:
-			fmt.Fprintf(&b, "  %q [color=orange, label=\"%s\\nok after %d attempts\"];\n",
-				t.Name, t.Name, len(tt.Attempts))
+			fmt.Fprintf(&b, "  %q [color=orange, label=\"%s\\nok after %d attempts (%s)\"];\n",
+				t.Name, t.Name, len(tt.Attempts), fmtSpanDur(tt.End.Sub(tt.Start)))
 		default:
-			fmt.Fprintf(&b, "  %q [color=darkgreen, label=\"%s\\nok\"];\n", t.Name, t.Name)
+			fmt.Fprintf(&b, "  %q [color=darkgreen, label=\"%s\\nok (%s)\"];\n",
+				t.Name, t.Name, fmtSpanDur(tt.End.Sub(tt.Start)))
 		}
 	}
 	deps := g.deps()

@@ -2,10 +2,14 @@ package dataflow
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
+
+	"slurmsight/internal/obs"
 )
 
 // Executor runs a graph with bounded physical concurrency — the N in the
@@ -19,6 +23,25 @@ type Executor struct {
 	// Seed makes backoff jitter reproducible; 0 picks a fixed seed, so
 	// two runs of the same graph draw the same jitter schedule.
 	Seed int64
+	// Tracer, when non-nil, records a root span for the run plus one
+	// span per executed task and per attempt; task bodies can annotate
+	// their task's span via obs.SpanFromContext on the context they
+	// receive. Nil (the default) disables tracing at near-zero cost.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, counts the run under dataflow_* names:
+	// attempts, retries, attempt timeouts, per-task latency, and task
+	// outcomes. Nil disables metric collection.
+	Metrics *obs.Registry
+}
+
+// execMetrics caches the executor's instruments for the duration of one
+// run; every field is nil (a free no-op) when metrics are off.
+type execMetrics struct {
+	attempts    *obs.Counter
+	retries     *obs.Counter
+	timeouts    *obs.Counter
+	running     *obs.Gauge
+	taskSeconds *obs.Histogram
 }
 
 // Run executes every task respecting dependencies, retrying each per its
@@ -50,6 +73,17 @@ func (e *Executor) Run(ctx context.Context, g *Graph) (*Trace, error) {
 
 	if n == 0 {
 		return &Trace{}, nil
+	}
+
+	runSpan := e.Tracer.Start("dataflow-run")
+	runSpan.SetAttrInt("tasks", int64(n))
+	runSpan.SetAttrInt("workers", int64(workers))
+	em := &execMetrics{
+		attempts:    e.Metrics.Counter("dataflow_attempts_total"),
+		retries:     e.Metrics.Counter("dataflow_retries_total"),
+		timeouts:    e.Metrics.Counter("dataflow_attempt_timeouts_total"),
+		running:     e.Metrics.Gauge("dataflow_running_tasks"),
+		taskSeconds: e.Metrics.Histogram("dataflow_task_seconds", obs.LatencyBuckets),
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -154,10 +188,26 @@ func (e *Executor) Run(ctx context.Context, g *Graph) (*Trace, error) {
 					startedWith := running
 					mu.Unlock()
 
+					// The task's span rides the context, so stage bodies
+					// can annotate it (obs.SpanFromContext). Disabled
+					// tracing leaves runCtx untouched.
+					sp := runSpan.Child(t.Name)
+					taskCtx := obs.ContextWithSpan(runCtx, sp)
+
+					em.running.Add(1)
 					tt := TaskTrace{Name: t.Name, Start: time.Now(), Workers: startedWith}
-					err := runAttempts(runCtx, t, pol, &tt, jitter)
+					err := runAttempts(taskCtx, t, pol, &tt, jitter, sp, em)
 					tt.End = time.Now()
 					tt.Err = err
+					em.running.Add(-1)
+					em.taskSeconds.Observe(tt.End.Sub(tt.Start).Seconds())
+					if sp != nil {
+						sp.SetAttr("outcome", tt.Outcome())
+						if err != nil {
+							sp.SetAttr("error", err.Error())
+						}
+					}
+					sp.End()
 
 					mu.Lock()
 					running--
@@ -213,6 +263,18 @@ func (e *Executor) Run(ctx context.Context, g *Graph) (*Trace, error) {
 		}
 	}
 
+	okN, failedN, skippedN, retriedN := trace.Counts()
+	e.Metrics.Counter("dataflow_tasks_total").Add(int64(len(trace.Tasks)))
+	e.Metrics.Counter("dataflow_tasks_ok_total").Add(int64(okN))
+	e.Metrics.Counter("dataflow_tasks_failed_total").Add(int64(failedN))
+	e.Metrics.Counter("dataflow_tasks_skipped_total").Add(int64(skippedN))
+	if runSpan != nil {
+		runSpan.SetAttr("outcomes", fmt.Sprintf("%d ok, %d failed, %d skipped, %d retried",
+			okN, failedN, skippedN, retriedN))
+		runSpan.SetAttrInt("max_concurrency", int64(trace.MaxConcurrency))
+	}
+	runSpan.End()
+
 	if firstErr != nil {
 		return trace, firstErr
 	}
@@ -233,14 +295,21 @@ func (e *Executor) Run(ctx context.Context, g *Graph) (*Trace, error) {
 
 // runAttempts drives one task through its policy: per-attempt timeout,
 // exponential backoff with jitter between attempts, and a backoff sleep
-// that aborts the moment the run context is cancelled.
+// that aborts the moment the run context is cancelled. sp is the task's
+// span (nil when tracing is off); em carries the run's instruments.
 func runAttempts(runCtx context.Context, t *Task, pol Policy,
-	tt *TaskTrace, jitter func(time.Duration, float64) time.Duration) error {
+	tt *TaskTrace, jitter func(time.Duration, float64) time.Duration,
+	sp *obs.Span, em *execMetrics) error {
 	backoff := pol.Backoff
 	var err error
 	for attempt := 0; attempt < pol.Attempts; attempt++ {
 		if attempt > 0 {
-			if serr := sleepCtx(runCtx, jitter(backoff, pol.Jitter)); serr != nil {
+			delay := jitter(backoff, pol.Jitter)
+			em.retries.Add(1)
+			if sp != nil {
+				sp.Event(fmt.Sprintf("retry %d after %s: %v", attempt, delay.Round(time.Millisecond), err))
+			}
+			if serr := sleepCtx(runCtx, delay); serr != nil {
 				return err // keep the attempt error; the run is aborting
 			}
 			backoff *= 2
@@ -250,12 +319,26 @@ func runAttempts(runCtx context.Context, t *Task, pol Policy,
 		if pol.Timeout > 0 {
 			attemptCtx, cancelAttempt = context.WithTimeout(runCtx, pol.Timeout)
 		}
+		em.attempts.Add(1)
+		var asp *obs.Span
+		if sp != nil {
+			asp = sp.Child("attempt " + strconv.Itoa(attempt+1))
+		}
 		at := Attempt{Start: time.Now()}
 		err = t.Run(attemptCtx)
 		cancelAttempt()
 		at.End = time.Now()
 		at.Err = err
 		tt.Attempts = append(tt.Attempts, at)
+		if err != nil {
+			if asp != nil {
+				asp.SetAttr("error", err.Error())
+			}
+			if pol.Timeout > 0 && errors.Is(err, context.DeadlineExceeded) {
+				em.timeouts.Add(1)
+			}
+		}
+		asp.End()
 		if err == nil || runCtx.Err() != nil {
 			return err
 		}

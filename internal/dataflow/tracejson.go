@@ -1,0 +1,92 @@
+package dataflow
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// JSON export of a run trace. Field names are part of the artifact
+// contract (workflow-trace.json): external tooling and the CI smoke
+// step parse them, so they must stay stable.
+
+// TraceJSON is the exported form of a Trace.
+type TraceJSON struct {
+	Tasks          []TaskTraceJSON `json:"tasks"`
+	MaxConcurrency int             `json:"max_concurrency"`
+	OK             int             `json:"ok"`
+	Failed         int             `json:"failed"`
+	Skipped        int             `json:"skipped"`
+	Retried        int             `json:"retried"`
+}
+
+// TaskTraceJSON is one task's execution record.
+type TaskTraceJSON struct {
+	Name string `json:"name"`
+	// Outcome is one of "ok", "failed", "skipped".
+	Outcome string `json:"outcome"`
+	// Start is RFC 3339 with nanoseconds; empty for skipped tasks.
+	Start      string        `json:"start,omitempty"`
+	DurationMS float64       `json:"duration_ms"`
+	Workers    int           `json:"workers,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	Attempts   []AttemptJSON `json:"attempts,omitempty"`
+}
+
+// AttemptJSON is one try of one task.
+type AttemptJSON struct {
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	OK         bool    `json:"ok"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// Export converts the trace to its stable JSON schema.
+func (t *Trace) Export() TraceJSON {
+	ok, failed, skipped, retried := t.Counts()
+	out := TraceJSON{
+		Tasks:          make([]TaskTraceJSON, 0, len(t.Tasks)),
+		MaxConcurrency: t.MaxConcurrency,
+		OK:             ok, Failed: failed, Skipped: skipped, Retried: retried,
+	}
+	for i := range t.Tasks {
+		tt := &t.Tasks[i]
+		tj := TaskTraceJSON{Name: tt.Name, Workers: tt.Workers}
+		switch {
+		case tt.Skipped:
+			tj.Outcome = "skipped"
+		case tt.Err != nil:
+			tj.Outcome = "failed"
+		default:
+			tj.Outcome = "ok"
+		}
+		if !tt.Start.IsZero() {
+			tj.Start = tt.Start.Format(time.RFC3339Nano)
+			tj.DurationMS = durMS(tt.Start, tt.End)
+		}
+		if tt.Err != nil {
+			tj.Error = tt.Err.Error()
+		}
+		for _, at := range tt.Attempts {
+			aj := AttemptJSON{
+				Start:      at.Start.Format(time.RFC3339Nano),
+				DurationMS: durMS(at.Start, at.End),
+				OK:         at.Err == nil,
+			}
+			if at.Err != nil {
+				aj.Error = at.Err.Error()
+			}
+			tj.Attempts = append(tj.Attempts, aj)
+		}
+		out.Tasks = append(out.Tasks, tj)
+	}
+	return out
+}
+
+// JSON renders the trace as indented JSON.
+func (t *Trace) JSON() ([]byte, error) {
+	return json.MarshalIndent(t.Export(), "", "  ")
+}
+
+func durMS(start, end time.Time) float64 {
+	return float64(end.Sub(start)) / float64(time.Millisecond)
+}

@@ -10,6 +10,8 @@ import (
 	"math/rand"
 	"net/http"
 	"time"
+
+	"slurmsight/internal/obs"
 )
 
 // Response-body caps per endpoint: every read is bounded, success and
@@ -49,6 +51,10 @@ type Client struct {
 	// replaces the context-aware timer — the retry core still refuses
 	// to start a sleep on a cancelled context.
 	Sleep func(time.Duration)
+	// Metrics, when non-nil, meters the client under llm_* names:
+	// request/retry/error counters, a request-latency histogram, and
+	// bytes sent/received. Nil (the default) disables metering.
+	Metrics *obs.Registry
 }
 
 // NewClient builds a client with production defaults.
@@ -126,6 +132,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, limit
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
+			c.Metrics.Counter("llm_retries_total").Inc()
 			delay := backoff
 			var apiErr *APIError
 			if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > 0 {
@@ -172,12 +179,18 @@ func (c *Client) once(ctx context.Context, httpc *http.Client, method, path stri
 	if c.APIKey != "" {
 		req.Header.Set("Authorization", "Bearer "+c.APIKey)
 	}
+	c.Metrics.Counter("llm_requests_total").Inc()
+	c.Metrics.Counter("llm_bytes_sent_total").Add(int64(len(body)))
+	t0 := time.Now()
 	resp, err := httpc.Do(req)
 	if err != nil {
+		c.Metrics.Counter("llm_transport_errors_total").Inc()
 		return &TransportError{Err: err}
 	}
 	defer resp.Body.Close()
 	data, err := readBounded(resp.Body, limit)
+	c.Metrics.Histogram("llm_request_seconds", obs.LatencyBuckets).ObserveSince(t0)
+	c.Metrics.Counter("llm_bytes_received_total").Add(int64(len(data)))
 	if err != nil {
 		if resp.StatusCode == http.StatusOK {
 			return err
@@ -187,6 +200,7 @@ func (c *Client) once(ctx context.Context, httpc *http.Client, method, path stri
 		data = nil
 	}
 	if resp.StatusCode != http.StatusOK {
+		c.Metrics.Counter("llm_api_errors_total").Inc()
 		return &APIError{
 			Status:     resp.StatusCode,
 			Message:    errText(data),

@@ -1,0 +1,87 @@
+package llm
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"slurmsight/internal/obs"
+)
+
+// TestClientMetrics drives a 500-then-200 sequence through the retry
+// core and checks every llm_* instrument: request and retry counts, the
+// API-error tally, the latency histogram, and byte accounting in both
+// directions.
+func TestClientMetrics(t *testing.T) {
+	var hits atomic.Int32
+	var okBody []byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			http.Error(w, `{"error":"overloaded"}`, http.StatusInternalServerError)
+			return
+		}
+		okBody, _ = json.Marshal(ChatResponse{Reply: Reply{Text: "fine"}})
+		w.Write(okBody)
+	}))
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	c := NewClient(ts.URL, "key")
+	c.Sleep = func(time.Duration) {}
+	c.Metrics = reg
+
+	if _, err := c.Chat(context.Background(), Facts{}, "hi", Topic("")); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, want := range map[string]int64{
+		"llm_requests_total":         2,
+		"llm_retries_total":          1,
+		"llm_api_errors_total":       1,
+		"llm_transport_errors_total": 0,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Histogram("llm_request_seconds", obs.LatencyBuckets).Count(); got != 2 {
+		t.Errorf("latency observations = %d, want 2", got)
+	}
+	if got := reg.Counter("llm_bytes_sent_total").Value(); got <= 0 {
+		t.Errorf("bytes sent = %d, want > 0", got)
+	}
+	// Received bytes cover the error body plus the success body.
+	if got := reg.Counter("llm_bytes_received_total").Value(); got < int64(len(okBody)) {
+		t.Errorf("bytes received = %d, want ≥ %d", got, len(okBody))
+	}
+
+	// The exposition includes the llm family for a /metrics scrape.
+	var text strings.Builder
+	reg.WriteText(&text)
+	if !strings.Contains(text.String(), "llm_requests_total 2") {
+		t.Errorf("exposition missing llm_requests_total:\n%s", text.String())
+	}
+}
+
+// TestClientTransportErrorMetric counts a connection failure under
+// llm_transport_errors_total.
+func TestClientTransportErrorMetric(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // refuse every connection
+
+	reg := obs.NewRegistry()
+	c := NewClient(ts.URL, "key")
+	c.MaxRetries = 0
+	c.Metrics = reg
+	if _, err := c.Models(context.Background()); err == nil {
+		t.Fatal("expected a transport error")
+	}
+	if got := reg.Counter("llm_transport_errors_total").Value(); got != 1 {
+		t.Errorf("llm_transport_errors_total = %d, want 1", got)
+	}
+}

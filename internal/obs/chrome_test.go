@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChromeTraceGolden pins the exported trace-event JSON byte for
+// byte: a run-root span, a nested child with an attribute, an
+// overlapping (non-nested) sibling that must land on its own lane, and
+// an instant event. The fake clock ticks 1 ms per reading.
+func TestChromeTraceGolden(t *testing.T) {
+	clock := newFakeClock(time.Millisecond)
+	tr := newTracer(clock.Now)        // base = t
+	root := tr.Start("run")           // start 1000 µs
+	a := root.Child("curate-2024-01") // start 2000 µs
+	a.SetAttr("stage", "curate")
+	b := root.Child("curate-2024-02") // start 3000 µs
+	b.Event("retry")                  // at 4000 µs
+	a.End()                           // end 5000 µs
+	b.End()                           // end 6000 µs
+	root.End()                        // end 7000 µs
+
+	var out strings.Builder
+	if err := tr.WriteChromeTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"displayTimeUnit":"ms","traceEvents":[` +
+		`{"name":"run","cat":"span","ph":"X","ts":1000,"dur":6000,"pid":1,"tid":1},` +
+		`{"name":"curate-2024-01","cat":"span","ph":"X","ts":2000,"dur":3000,"pid":1,"tid":1,"args":{"stage":"curate"}},` +
+		`{"name":"curate-2024-02","cat":"span","ph":"X","ts":3000,"dur":3000,"pid":1,"tid":2},` +
+		`{"name":"retry","cat":"event","ph":"i","ts":4000,"pid":1,"tid":2,"s":"t"}` +
+		"]}\n"
+	if out.String() != want {
+		t.Errorf("chrome trace:\n%s\nwant:\n%s", out.String(), want)
+	}
+
+	// The export must also be valid JSON with the keys the viewers
+	// require on every event.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	for _, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("event %v missing %q", ev, key)
+			}
+		}
+	}
+}
+
+func TestChromeTraceEmptyAndNil(t *testing.T) {
+	var nilTr *Tracer
+	var out strings.Builder
+	if err := nilTr.WriteChromeTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	if want := "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n"; out.String() != want {
+		t.Errorf("nil tracer export = %q, want %q", out.String(), want)
+	}
+	out.Reset()
+	if err := NewTracer().WriteChromeTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"traceEvents":[]`) {
+		t.Errorf("empty tracer export = %q", out.String())
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	clock := newFakeClock(time.Millisecond)
+	tr := newTracer(clock.Now)
+	root := tr.Start("run")
+	sp := root.Child("plot-wait-times")
+	sp.SetAttr("stage", "render")
+	sp.End()
+	root.End()
+
+	var out strings.Builder
+	tr.WriteSummary(&out)
+	text := out.String()
+	for _, want := range []string{
+		"== run trace: 2 spans",
+		"run",
+		"  plot-wait-times",
+		"[stage=render]",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary missing %q:\n%s", want, text)
+		}
+	}
+	// Nil tracer writes nothing.
+	out.Reset()
+	var nilTr *Tracer
+	nilTr.WriteSummary(&out)
+	if out.Len() != 0 {
+		t.Errorf("nil tracer summary = %q", out.String())
+	}
+}

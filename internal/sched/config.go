@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"slurmsight/internal/cluster"
+	"slurmsight/internal/obs"
 )
 
 // Config carries the scheduling-policy knobs, mirroring the Slurm
@@ -72,6 +73,12 @@ type Config struct {
 	// unclaimed capacity returns to the general pool and still-pending
 	// tagged jobs fall back to general scheduling.
 	Reservations []Reservation
+
+	// Metrics, when non-nil, publishes simulator counters and gauges
+	// under sched_* names (events processed, scheduling passes,
+	// backfill attempts/starts, queue depth, jobs running). Nil keeps
+	// the hot path unmetered.
+	Metrics *obs.Registry
 }
 
 // Reservation is one advance node reservation.

@@ -1,0 +1,42 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"slurmsight/internal/obs"
+	"slurmsight/internal/tracegen"
+)
+
+// TestSimulatorMetrics runs the canonical backfill scenario with a
+// registry attached and checks the sched_* instruments agree with the
+// run's own statistics.
+func TestSimulatorMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reqs := []tracegen.Request{
+		req("a", t0, 8, time.Hour, time.Hour),
+		req("b", t0.Add(time.Second), 10, time.Hour, 30*time.Minute),
+		req("c", t0.Add(2*time.Second), 2, 30*time.Minute, 20*time.Minute),
+	}
+	res := run(t, tinySystem(), reqs, func(cfg *Config) { cfg.Metrics = reg })
+
+	if got := reg.Counter("sched_events_processed_total").Value(); got < int64(len(reqs)) {
+		t.Errorf("sched_events_processed_total = %d, want ≥ %d (one per submit)", got, len(reqs))
+	}
+	if got := reg.Counter("sched_passes_total").Value(); got == 0 {
+		t.Error("sched_passes_total = 0")
+	}
+	if got := reg.Counter("sched_backfill_starts_total").Value(); got != int64(res.Stats.Backfilled) {
+		t.Errorf("sched_backfill_starts_total = %d, want %d", got, res.Stats.Backfilled)
+	}
+	if got := reg.Counter("sched_backfill_attempts_total").Value(); got < reg.Counter("sched_backfill_starts_total").Value() {
+		t.Errorf("backfill attempts %d < starts", got)
+	}
+	// Everything drained: the end-of-run gauges must read empty.
+	if got := reg.Gauge("sched_queue_depth").Value(); got != 0 {
+		t.Errorf("sched_queue_depth = %d at end of run", got)
+	}
+	if got := reg.Gauge("sched_jobs_running").Value(); got != 0 {
+		t.Errorf("sched_jobs_running = %d at end of run", got)
+	}
+}

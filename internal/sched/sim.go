@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"slurmsight/internal/cluster"
+	"slurmsight/internal/obs"
 	"slurmsight/internal/slurm"
 	"slurmsight/internal/tracegen"
 )
@@ -148,6 +149,15 @@ type Simulator struct {
 	share   float64 // fair-share nominal usage scale
 	ageFull int64   // age term at saturation
 	halfF   float64 // FairShareHalfLife as float ns, the decay divisor
+
+	// Instruments resolved once in New from cfg.Metrics; all nil (free
+	// no-ops) when metrics are off, keeping the event loop unmetered.
+	mEvents         *obs.Counter
+	mPasses         *obs.Counter
+	mBackfillAtt    *obs.Counter
+	mBackfillStarts *obs.Counter
+	mQueueDepth     *obs.Gauge
+	mRunning        *obs.Gauge
 }
 
 // New builds a simulator; the configuration is validated.
@@ -165,6 +175,14 @@ func New(cfg Config) (*Simulator, error) {
 		share:      float64(cfg.System.Nodes) * cfg.FairShareHalfLife.Seconds() / 64,
 		ageFull:    int64(float64(cfg.AgeWeight)),
 		halfF:      float64(cfg.FairShareHalfLife),
+	}
+	if cfg.Metrics != nil {
+		s.mEvents = cfg.Metrics.Counter("sched_events_processed_total")
+		s.mPasses = cfg.Metrics.Counter("sched_passes_total")
+		s.mBackfillAtt = cfg.Metrics.Counter("sched_backfill_attempts_total")
+		s.mBackfillStarts = cfg.Metrics.Counter("sched_backfill_starts_total")
+		s.mQueueDepth = cfg.Metrics.Gauge("sched_queue_depth")
+		s.mRunning = cfg.Metrics.Gauge("sched_jobs_running")
 	}
 	for _, q := range cfg.System.QOSLevels {
 		s.qosDefs[q.Name] = q
@@ -324,6 +342,11 @@ func (s *Simulator) Run(reqs []tracegen.Request, opts Options) (*Result, error) 
 	// carry the value the last pass would have written.
 	s.reprioritize(s.now, true)
 
+	// Final gauge readings: a pass may have been skipped since the last
+	// capacity change, so publish the drained state explicitly.
+	s.mQueueDepth.Set(int64(s.npending))
+	s.mRunning.Set(int64(len(s.running)))
+
 	// Anything still pending at drain time never had resources; that
 	// cannot happen with a consistent request stream, but guard anyway.
 	var last time.Time
@@ -365,6 +388,7 @@ func (s *Simulator) Run(reqs []tracegen.Request, opts Options) (*Result, error) 
 func (s *Simulator) nextSeq() int64 { s.seq++; return s.seq }
 
 func (s *Simulator) handle(e event) {
+	s.mEvents.Inc()
 	switch e.kind {
 	case evSubmit:
 		j := e.j
@@ -691,6 +715,7 @@ func (s *Simulator) schedule(t time.Time) {
 		return
 	}
 	s.schedDirty = false
+	s.mPasses.Inc()
 	s.reprioritize(t, false)
 	if len(s.resPools) > 0 {
 		s.reservationPass(t)
@@ -701,6 +726,8 @@ func (s *Simulator) schedule(t time.Time) {
 		s.backfillPass(head, t)
 	}
 	s.finishPass(head)
+	s.mQueueDepth.Set(int64(s.npending))
+	s.mRunning.Set(int64(len(s.running)))
 }
 
 // reservationPass starts reservation-tagged jobs that fit their window, in
@@ -782,7 +809,7 @@ func (s *Simulator) backfillPass(head *job, t time.Time) {
 	for considered < depth {
 		j := s.nextPending()
 		if j == nil {
-			return
+			break
 		}
 		if j.res != nil {
 			s.keep = append(s.keep, j)
@@ -805,6 +832,7 @@ func (s *Simulator) backfillPass(head *job, t time.Time) {
 		}
 		s.keep = append(s.keep, j)
 	}
+	s.mBackfillAtt.Add(int64(considered))
 }
 
 // finishPass returns every examined-but-unstarted job to the pending
@@ -949,6 +977,9 @@ func satAddDuration(a, b time.Duration) time.Duration {
 func (s *Simulator) startJob(j *job, t time.Time, backfill bool) {
 	j.started = true
 	j.backfill = backfill
+	if backfill {
+		s.mBackfillStarts.Inc()
+	}
 	j.start = t
 	j.waited += t.Sub(j.eligible)
 	j.priority = s.priorityAt(j, t)
