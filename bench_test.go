@@ -534,6 +534,41 @@ func BenchmarkEndToEndAnalyze(b *testing.B) {
 		}
 	})
 
+	// parallel-bundle runs the PR 5 ingest plane: chunked zero-alloc byte
+	// decode on opts.Workers decoders per file, per-chunk collector
+	// shards merged in chunk order. Figure data stays byte-identical to
+	// stream-bundle (pinned by TestWorkflowParallelIngestMatchesSequential);
+	// the contrast is decode cost per row and, on multi-core hosts,
+	// wall time.
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("parallel-bundle/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			opts := curate.DefaultOptions()
+			opts.Workers = workers
+			for i := 0; i < b.N; i++ {
+				merged := analyze.NewBundle(bucket)
+				for _, path := range paths {
+					shards := analyze.NewShardSet(bucket)
+					var rep curate.Report
+					if _, err := curate.StreamFileParallel(path, "", opts, &rep,
+						func(chunk int) func(*slurm.Record) bool {
+							sb := shards.Shard(chunk)
+							return func(rec *slurm.Record) bool {
+								sb.Observe(rec)
+								return true
+							}
+						}); err != nil {
+						b.Fatal(err)
+					}
+					part := analyze.NewBundle(bucket)
+					shards.MergeInto(part)
+					merged.Merge(part)
+				}
+				checkStream(merged)
+			}
+		})
+	}
+
 	// legacyLoad is the pre-refactor curate loader: a scanner plus one
 	// slurm.DecodeRecord (fresh Record and field split) per row,
 	// materialising every period into one slice.

@@ -38,7 +38,9 @@ func main() {
 	log.SetPrefix("schedflow: ")
 
 	var (
-		workers  = flag.Int("n", 4, "workflow concurrency (swift-t -n)")
+		workers = flag.Int("n", 4, "workflow concurrency (swift-t -n)")
+		ingestW = flag.Int("ingest-workers", 1,
+			"chunk decoders per period file (>1 selects the parallel byte ingest plane)")
 		trace    = flag.String("trace", "trace.txt", "accounting dump to analyze")
 		system   = flag.String("system", "frontier", "system name for chart titles")
 		dateSpec = flag.String("date-spec", "months", "retrieval granularity: months or years")
@@ -95,6 +97,7 @@ func main() {
 		End:             end,
 		UseCache:        *useCache,
 		Workers:         *workers,
+		IngestWorkers:   *ingestW,
 		TopUsers:        *topUsers,
 		EnableAI:        *enableAI,
 		ExtendedFigures: *extended,

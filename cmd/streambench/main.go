@@ -7,15 +7,21 @@
 //	streambench -gen -rows 1000000 -path trace-1m.txt
 //	streambench -run -mode stream -path trace-1m.txt
 //	streambench -run -mode slices -path trace-1m.txt
+//	streambench -run -mode parallel -workers 4 -path trace-1m.txt -json BENCH_ingest.json
 //
 // The -gen phase simulates a seed workload once and tiles its encoded
 // rows to the requested count, so multi-million-row inputs cost seconds
-// rather than a multi-million-job scheduler replay. EXPERIMENTS.md
-// "Streaming data plane" records the numbers.
+// rather than a multi-million-job scheduler replay. Mode parallel runs
+// the chunked zero-alloc byte ingest plane at -workers chunk decoders;
+// -json appends the run's numbers (rows, workers, ns/op, allocs/op,
+// peak RSS) to a machine-readable array so the perf trajectory is
+// diffable across PRs. EXPERIMENTS.md "Parallel chunked ingest" records
+// the sweep.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -41,12 +47,14 @@ func main() {
 	log.SetPrefix("streambench: ")
 
 	var (
-		gen  = flag.Bool("gen", false, "generate a trace file and exit")
-		run  = flag.Bool("run", false, "run one analysis pass over -path")
-		rows = flag.Int("rows", 1_000_000, "data rows to generate with -gen")
-		mode = flag.String("mode", "stream", "analysis path with -run: stream or slices")
-		path = flag.String("path", "trace.txt", "trace file")
-		seed = flag.Int64("seed", 41, "workload RNG seed for -gen")
+		gen     = flag.Bool("gen", false, "generate a trace file and exit")
+		run     = flag.Bool("run", false, "run one analysis pass over -path")
+		rows    = flag.Int("rows", 1_000_000, "data rows to generate with -gen")
+		mode    = flag.String("mode", "stream", "analysis path with -run: stream, slices, or parallel")
+		path    = flag.String("path", "trace.txt", "trace file")
+		seed    = flag.Int64("seed", 41, "workload RNG seed for -gen")
+		workers = flag.Int("workers", 1, "chunk decoders with -mode parallel")
+		jsonOut = flag.String("json", "", "append the run's result to this JSON array file")
 	)
 	flag.Parse()
 
@@ -56,7 +64,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *run:
-		if err := measure(*path, *mode); err != nil {
+		if err := measure(*path, *mode, *workers, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -119,9 +127,21 @@ func generate(path string, n int, seed int64) error {
 	return nil
 }
 
+// benchResult is one measurement in the BENCH_ingest.json array: the
+// stable schema the CI artifact and EXPERIMENTS.md sweeps share.
+type benchResult struct {
+	Mode         string  `json:"mode"`
+	Rows         int64   `json:"rows"`
+	Workers      int     `json:"workers"`
+	WallMS       float64 `json:"wall_ms"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+}
+
 // measure runs one analysis pass and reports wall time, allocation
 // totals, and the process high-water RSS.
-func measure(path, mode string) error {
+func measure(path, mode string, workers int, jsonOut string) error {
 	t0 := time.Now()
 	var records int64
 	switch mode {
@@ -134,6 +154,25 @@ func measure(path, mode string) error {
 			}
 			b.Observe(rec)
 		}
+		touchBundle(b)
+		records = b.Records
+	case "parallel":
+		b := analyze.NewBundle(bucket)
+		shards := analyze.NewShardSet(bucket)
+		opts := curate.DefaultOptions()
+		opts.Workers = workers
+		var rep curate.Report
+		if _, err := curate.StreamFileParallel(path, "", opts, &rep,
+			func(chunk int) func(*slurm.Record) bool {
+				sb := shards.Shard(chunk)
+				return func(rec *slurm.Record) bool {
+					sb.Observe(rec)
+					return true
+				}
+			}); err != nil {
+			return err
+		}
+		shards.MergeInto(b)
 		touchBundle(b)
 		records = b.Records
 	case "slices":
@@ -157,10 +196,41 @@ func measure(path, mode string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mode=%s records=%d wall=%s peak_rss=%.1fMB total_alloc=%.1fMB mallocs=%d\n",
-		mode, records, wall.Round(time.Millisecond),
+	fmt.Printf("mode=%s workers=%d records=%d wall=%s peak_rss=%.1fMB total_alloc=%.1fMB mallocs=%d\n",
+		mode, workers, records, wall.Round(time.Millisecond),
 		float64(hwm)/(1<<20), float64(ms.TotalAlloc)/(1<<20), ms.Mallocs)
-	return nil
+	if jsonOut == "" {
+		return nil
+	}
+	res := benchResult{
+		Mode:         mode,
+		Rows:         records,
+		Workers:      workers,
+		WallMS:       float64(wall) / float64(time.Millisecond),
+		PeakRSSBytes: hwm,
+	}
+	if records > 0 {
+		res.NsPerOp = float64(wall.Nanoseconds()) / float64(records)
+		res.AllocsPerOp = float64(ms.Mallocs) / float64(records)
+	}
+	return appendResult(jsonOut, res)
+}
+
+// appendResult folds one measurement into the JSON array at path,
+// creating the file on first use. Each invocation is a fresh process,
+// so VmHWM in every entry reflects only its own pass.
+func appendResult(path string, r benchResult) error {
+	var list []benchResult
+	if data, err := os.ReadFile(path); err == nil {
+		// A malformed file starts a fresh array rather than failing the run.
+		_ = json.Unmarshal(data, &list)
+	}
+	list = append(list, r)
+	data, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // touchBundle forces every figure result the workflow consumes.

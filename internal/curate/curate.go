@@ -27,8 +27,15 @@ type Options struct {
 	ExpandCounts bool
 	// Metrics, when non-nil, counts the stream's work under
 	// curate_rows_read_total / curate_rows_kept_total /
-	// curate_rows_dropped_total.
+	// curate_rows_dropped_total; the parallel path additionally
+	// publishes ingest_chunks_total / ingest_chunk_rows /
+	// ingest_chunk_seconds.
 	Metrics *obs.Registry
+	// Workers sets how many chunks StreamFileParallel splits a period
+	// file into and decodes concurrently. Values below 2 select a
+	// single chunk (the whole data region) on the same zero-alloc byte
+	// decode path. Ignored by the sequential Stream/StreamFile.
+	Workers int
 }
 
 // DefaultOptions matches the paper's preprocessing.
@@ -41,6 +48,11 @@ type Report struct {
 	Total     int // data rows seen
 	Kept      int // rows written/returned
 	Malformed int // rows dropped
+	// SidecarErrors counts CSV-sidecar flush/write/close failures that
+	// could not be surfaced as stream errors because the consumer had
+	// already stopped. A nonzero value means the sidecar on disk is
+	// incomplete even though no error was yielded.
+	SidecarErrors int
 }
 
 // Add accumulates another run's counts (e.g. per-period reports).
@@ -48,6 +60,7 @@ func (r *Report) Add(o Report) {
 	r.Total += o.Total
 	r.Kept += o.Kept
 	r.Malformed += o.Malformed
+	r.SidecarErrors += o.SidecarErrors
 }
 
 // MalformedFraction returns the dropped share of all rows.
@@ -149,6 +162,45 @@ func normalise(field, value string, opts Options) (string, error) {
 	default:
 		return value, nil
 	}
+}
+
+// normaliseBytes is normalise for the byte decode path. It produces the
+// same output strings for every cell both parsers accept: the byte
+// parsers are exact mirrors of the string ones, and the formatting side
+// (FormatFloat/FormatInt) is shared, so parallel sidecars stay
+// byte-identical to sequential ones.
+func normaliseBytes(field string, cell []byte, opts Options) (string, error) {
+	switch {
+	case opts.DurationsAsMinutes && durationFields[field]:
+		d, err := slurm.ParseDurationBytes(cell)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatFloat(d.Minutes(), 'f', 2, 64), nil
+	case opts.ExpandCounts && countFields[field]:
+		n, err := slurm.ParseCountBytes(cell)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatInt(n, 10), nil
+	default:
+		return string(cell), nil
+	}
+}
+
+// sidecarHeader renders the CSV sidecar's header row: the input's field
+// names, with duration columns renamed to their minutes rendition when
+// that normalisation is on.
+func sidecarHeader(fields []string, opts Options) []string {
+	header := make([]string, len(fields))
+	for i, f := range fields {
+		name := f
+		if opts.DurationsAsMinutes && durationFields[f] {
+			name += "Minutes"
+		}
+		header[i] = name
+	}
+	return header
 }
 
 // ToCSVFile curates inPath (pipe text) into outPath (CSV).

@@ -34,8 +34,10 @@ func Stats() PassStats {
 // kept row is written to it in the same pass, so one read of the input
 // serves both the analytics consumer and the on-disk sidecar. Yielded
 // records alias decoder scratch; consumers that retain them must copy.
-// The CSV writer is flushed when the stream ends, including when the
-// consumer stops early; a write error is yielded terminally.
+// The CSV writer is flushed exactly once when the stream ends; a flush
+// or write error is yielded terminally when the consumer is still
+// listening, and counted into rep.SidecarErrors when it is not (early
+// consumer stop).
 func Stream(r io.Reader, csvw io.Writer, opts Options, rep *Report) slurm.RecordSeq {
 	return func(yield func(*slurm.Record, error) bool) {
 		// Resolve the run instruments once per stream, not per row; on a
@@ -51,22 +53,28 @@ func Stream(r io.Reader, csvw io.Writer, opts Options, rep *Report) slurm.Record
 		fields := rr.Fields()
 		var cw *csv.Writer
 		var row []string
+		flushed := false
 		if csvw != nil {
 			cw = csv.NewWriter(csvw)
-			header := make([]string, len(fields))
-			for i, f := range fields {
-				name := f
-				if opts.DurationsAsMinutes && durationFields[f] {
-					name += "Minutes"
-				}
-				header[i] = name
-			}
-			if err := cw.Write(header); err != nil {
+			if err := cw.Write(sidecarHeader(fields, opts)); err != nil {
 				yield(nil, err)
 				return
 			}
 			row = make([]string, len(fields))
-			defer cw.Flush()
+			// One flush on every exit path. Exits that already flushed
+			// (or yielded the writer's sticky error) set flushed; the
+			// rest — early consumer stop, terminal decode errors — land
+			// here, where an error can no longer be yielded and is
+			// counted instead of dropped.
+			defer func() {
+				if flushed {
+					return
+				}
+				cw.Flush()
+				if cw.Error() != nil {
+					rep.SidecarErrors++
+				}
+			}()
 		}
 		for {
 			rec, err := rr.Next()
@@ -100,6 +108,7 @@ func Stream(r io.Reader, csvw io.Writer, opts Options, rep *Report) slurm.Record
 					row[i] = v
 				}
 				if err := cw.Write(row); err != nil {
+					flushed = true // the error is surfaced, not silently dropped
 					yield(nil, err)
 					return
 				}
@@ -111,6 +120,7 @@ func Stream(r io.Reader, csvw io.Writer, opts Options, rep *Report) slurm.Record
 			}
 		}
 		if cw != nil {
+			flushed = true
 			cw.Flush()
 			if err := cw.Error(); err != nil {
 				yield(nil, err)
@@ -138,7 +148,7 @@ func StreamFile(inPath, csvPath string, opts Options, rep *Report) slurm.RecordS
 		if csvPath != "" {
 			csvOut, err = os.Create(csvPath)
 			if err != nil {
-				yield(nil, err)
+				yield(nil, fmt.Errorf("curate: create sidecar %s: %w", csvPath, err))
 				return
 			}
 			csvw = csvOut
@@ -158,8 +168,12 @@ func StreamFile(inPath, csvPath string, opts Options, rep *Report) slurm.RecordS
 			}
 		}
 		if csvOut != nil {
-			if cerr := csvOut.Close(); cerr != nil && ok {
-				yield(nil, cerr)
+			if cerr := csvOut.Close(); cerr != nil {
+				if ok {
+					yield(nil, fmt.Errorf("curate: close sidecar %s: %w", csvPath, cerr))
+				} else {
+					rep.SidecarErrors++
+				}
 			}
 		}
 	}

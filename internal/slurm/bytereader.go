@@ -1,0 +1,239 @@
+package slurm
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// maxLineLen mirrors RecordReader's scanner buffer cap: lines longer
+// than this fail with bufio.ErrTooLong on both decode paths.
+const maxLineLen = 1 << 20
+
+// internCap bounds the per-reader string and flag caches. Past it the
+// reader keeps decoding correctly but allocates fresh strings; real
+// sacct columns (users, accounts, partitions, states) stay far below.
+const internCap = 1 << 15
+
+// ByteRecordReader is the zero-alloc counterpart of RecordReader: the
+// same header contract and row semantics, but lines are pulled straight
+// from the read buffer as []byte, columns are tokenized without string
+// conversion, and typed fields decode through the Field.SetBytes parsers
+// (ParseTimeBytes, ParseDurationBytes, ...) instead of time.Parse and
+// strings.Split. Free-form string columns are interned — one allocation
+// per distinct value per reader, not per row — so steady-state decode of
+// a repetitive trace allocates nothing per row. The returned record and
+// the Row backing storage are valid only until the following Next call.
+type ByteRecordReader struct {
+	r      *bufio.Reader
+	fields []*Field // pre-resolved header columns, in header order
+	names  []string // header spellings, for error attribution
+	cols   [][]byte // per-row column scratch; subslices alias the read buffer
+	rec    Record   // per-row record scratch
+	line   int      // lines consumed so far (base included)
+	long   []byte   // spill for lines longer than the read buffer
+
+	interned   map[string]string   // cell bytes → immutable string, for Set-path fields
+	flagsCache map[string][]string // raw Flags cell → pre-split, capacity-clipped slice
+}
+
+// NewByteRecordReader reads and validates the header line of r. It
+// accepts exactly the headers NewRecordReader accepts.
+func NewByteRecordReader(r io.Reader) (*ByteRecordReader, error) {
+	br := newByteRecordReader(bufio.NewReaderSize(r, 1<<16), nil, nil, 0)
+	header, err := br.readLine()
+	if err == io.EOF {
+		return nil, fmt.Errorf("slurm: input has no header")
+	}
+	if err != nil {
+		return nil, err
+	}
+	br.line = 1 // the header line
+	br.fields, br.names, err = resolveHeader(string(header))
+	if err != nil {
+		return nil, err
+	}
+	br.cols = make([][]byte, 0, len(br.fields))
+	return br, nil
+}
+
+// newByteRecordReader wraps an already-positioned reader whose header
+// was resolved elsewhere (the ChunkScanner path). lineBase seeds the
+// line counter: 1 for a chunk that starts right after the header (so
+// RowError lines match the sequential reader), 0 for interior chunks,
+// whose line numbers are then chunk-relative.
+func newByteRecordReader(r *bufio.Reader, fields []*Field, names []string, lineBase int) *ByteRecordReader {
+	return &ByteRecordReader{
+		r:          r,
+		fields:     fields,
+		names:      names,
+		cols:       make([][]byte, 0, len(fields)),
+		line:       lineBase,
+		interned:   make(map[string]string),
+		flagsCache: make(map[string][]string),
+	}
+}
+
+// Fields returns the header's field names in column order. The slice is
+// owned by the reader; callers must not modify it.
+func (br *ByteRecordReader) Fields() []string { return br.names }
+
+// Line returns the line number of the most recently consumed input
+// line: 1-based in the input when the reader saw the header itself,
+// chunk-relative for an interior chunk.
+func (br *ByteRecordReader) Line() int { return br.line }
+
+// Row returns the raw columns of the row Next most recently decoded.
+// The backing storage aliases the read buffer and is reused by the
+// following Next call.
+func (br *ByteRecordReader) Row() [][]byte { return br.cols }
+
+// readLine returns the next input line with its trailing "\n" (and one
+// "\r" before it) stripped, mirroring bufio.ScanLines including the
+// final unterminated line. The slice aliases the read buffer (or the
+// long-line spill) and is valid until the next call.
+func (br *ByteRecordReader) readLine() ([]byte, error) {
+	line, err := br.r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		// Rare long line: accumulate into owned spill storage.
+		br.long = append(br.long[:0], line...)
+		for err == bufio.ErrBufferFull {
+			if len(br.long) > maxLineLen {
+				return nil, bufio.ErrTooLong
+			}
+			line, err = br.r.ReadSlice('\n')
+			br.long = append(br.long, line...)
+		}
+		line = br.long
+	}
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, io.EOF
+	}
+	if n := len(line); line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if len(line) >= maxLineLen { // the scanner cap counts the line before CR-stripping
+		return nil, bufio.ErrTooLong
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// Next decodes the next data row. Blank lines are skipped. It returns
+// io.EOF at the end of input, a *RowError for a malformed row (callers
+// may keep reading past it), and any other error terminally — the same
+// contract, accepted inputs, and error text as RecordReader.Next.
+func (br *ByteRecordReader) Next() (*Record, error) {
+	for {
+		line, err := br.readLine()
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		br.line++
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		br.cols = SplitFieldsBytes(br.cols[:0], line)
+		if len(br.cols) != len(br.fields) {
+			return nil, &RowError{Line: br.line,
+				Err: fmt.Errorf("slurm: %d columns, want %d", len(br.cols), len(br.fields))}
+		}
+		br.rec = Record{}
+		for i, f := range br.fields {
+			if err := br.setField(f, br.cols[i]); err != nil {
+				return nil, &RowError{Line: br.line,
+					Err: fmt.Errorf("slurm: field %s: %w", br.names[i], err)}
+			}
+		}
+		return &br.rec, nil
+	}
+}
+
+// setField routes one cell to its decoder: the byte fast path when the
+// field has one, the cached-split path for Flags, and Set over an
+// interned copy for the free-form string columns.
+func (br *ByteRecordReader) setField(f *Field, col []byte) error {
+	switch {
+	case f.SetBytes != nil:
+		return f.SetBytes(&br.rec, col)
+	case f == flagsField:
+		br.rec.Flags = br.flagsFor(col)
+		return nil
+	default:
+		return f.Set(&br.rec, br.intern(col))
+	}
+}
+
+// intern returns a string with b's bytes, allocating only on the first
+// sighting of a value (while the cache has room).
+func (br *ByteRecordReader) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := br.interned[string(b)]; ok { // no alloc: map lookup on []byte key
+		return s
+	}
+	s := string(b)
+	if len(br.interned) < internCap {
+		br.interned[s] = s
+	}
+	return s
+}
+
+// flagsFor returns the parsed flag list for a raw Flags cell, splitting
+// each distinct cell value once per reader. Cached slices are clipped to
+// their length so a consumer append (the Backfill column merging
+// FlagBackfill in) reallocates instead of scribbling on the shared
+// backing array.
+func (br *ByteRecordReader) flagsFor(b []byte) []string {
+	if fl, ok := br.flagsCache[string(b)]; ok { // no alloc: map lookup on []byte key
+		return fl
+	}
+	var tmp Record
+	tmp.setFlags(string(b))
+	fl := tmp.Flags
+	if fl != nil {
+		fl = fl[:len(fl):len(fl)]
+	}
+	if len(br.flagsCache) < internCap {
+		br.flagsCache[string(b)] = fl
+	}
+	return fl
+}
+
+// All returns the reader's remaining rows as a RecordSeq with the same
+// semantics as RecordReader.All: malformed rows yield (nil, *RowError)
+// and iteration continues; a terminal error is yielded last. Records
+// alias the reader's scratch storage.
+func (br *ByteRecordReader) All() RecordSeq {
+	return func(yield func(*Record, error) bool) {
+		for {
+			rec, err := br.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if _, ok := err.(*RowError); ok {
+					if !yield(nil, err) {
+						return
+					}
+					continue
+				}
+				yield(nil, err)
+				return
+			}
+			if !yield(rec, nil) {
+				return
+			}
+		}
+	}
+}

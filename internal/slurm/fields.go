@@ -1,6 +1,7 @@
 package slurm
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"strings"
@@ -35,18 +36,31 @@ func Categories() []Category {
 
 // Field describes one accounting column: its Table 1 category and the
 // accessors that render and parse its text form in sacct output.
+// SetBytes, when non-nil, is the zero-alloc decode fast path used by
+// ByteRecordReader; it must accept exactly the inputs Set accepts and
+// must not retain the byte slice. Fields without one (free-form string
+// columns) are decoded through Set on an interned copy of the cell.
 type Field struct {
 	Name     string
 	Category Category
 	Doc      string
 	Get      func(*Record) string
 	Set      func(*Record, string) error
+	SetBytes func(*Record, []byte) error
 }
 
-func intField(get func(*Record) int64, set func(*Record, int64)) (func(*Record) string, func(*Record, string) error) {
+func intField(get func(*Record) int64, set func(*Record, int64)) (func(*Record) string, func(*Record, string) error, func(*Record, []byte) error) {
 	return func(r *Record) string { return strconv.FormatInt(get(r), 10) },
 		func(r *Record, s string) error {
 			n, err := ParseCount(s)
+			if err != nil {
+				return err
+			}
+			set(r, n)
+			return nil
+		},
+		func(r *Record, b []byte) error {
+			n, err := ParseCountBytes(b)
 			if err != nil {
 				return err
 			}
@@ -59,10 +73,6 @@ func strField(get func(*Record) string, set func(*Record, string)) (func(*Record
 	return get, func(r *Record, s string) error { set(r, s); return nil }
 }
 
-func timeField(get func(*Record) string, set func(*Record, string) error) (func(*Record) string, func(*Record, string) error) {
-	return get, set
-}
-
 // catalogue is the ordered Table 1 selection. Built once at init.
 var catalogue []Field
 
@@ -73,12 +83,18 @@ func addField(f Field) {
 	catalogue = append(catalogue, f)
 }
 
+// flagsField is the one catalogue entry ByteRecordReader special-cases:
+// its Set splits a flag list per call, so the byte decoder swaps in a
+// cached pre-split slice instead.
+var flagsField *Field
+
 func init() {
 	defineFields()
 	fieldIndex = make(map[string]*Field, len(catalogue))
 	for i := range catalogue {
 		fieldIndex[strings.ToLower(catalogue[i].Name)] = &catalogue[i]
 	}
+	flagsField = fieldIndex["flags"]
 }
 
 func defineFields() {
@@ -93,13 +109,21 @@ func defineFields() {
 			}
 			r.ID = id
 			return nil
+		},
+		SetBytes: func(r *Record, b []byte) error {
+			id, err := ParseJobIDBytes(b)
+			if err != nil {
+				return err
+			}
+			r.ID = id
+			return nil
 		}})
 	g, s := strField(func(r *Record) string { return r.JobName }, func(r *Record, v string) { r.JobName = v })
 	addField(Field{Name: "JobName", Category: CatIdentification, Doc: "user-supplied job name", Get: g, Set: s})
 	g, s = strField(func(r *Record) string { return r.User }, func(r *Record, v string) { r.User = v })
 	addField(Field{Name: "User", Category: CatIdentification, Doc: "submitting user", Get: g, Set: s})
-	gi, si := intField(func(r *Record) int64 { return r.UID }, func(r *Record, v int64) { r.UID = v })
-	addField(Field{Name: "UID", Category: CatIdentification, Doc: "submitting user id", Get: gi, Set: si})
+	gi, si, sbi := intField(func(r *Record) int64 { return r.UID }, func(r *Record, v int64) { r.UID = v })
+	addField(Field{Name: "UID", Category: CatIdentification, Doc: "submitting user id", Get: gi, Set: si, SetBytes: sbi})
 	g, s = strField(func(r *Record) string { return r.Group }, func(r *Record, v string) { r.Group = v })
 	addField(Field{Name: "Group", Category: CatIdentification, Doc: "submitting group", Get: g, Set: s})
 	g, s = strField(func(r *Record) string { return r.Account }, func(r *Record, v string) { r.Account = v })
@@ -110,8 +134,8 @@ func defineFields() {
 	addField(Field{Name: "Partition", Category: CatIdentification, Doc: "partition the job ran in", Get: g, Set: s})
 	g, s = strField(func(r *Record) string { return r.Reservation }, func(r *Record, v string) { r.Reservation = v })
 	addField(Field{Name: "Reservation", Category: CatIdentification, Doc: "advance reservation name", Get: g, Set: s})
-	gi, si = intField(func(r *Record) int64 { return r.ReservationID }, func(r *Record, v int64) { r.ReservationID = v })
-	addField(Field{Name: "ReservationID", Category: CatIdentification, Doc: "advance reservation id", Get: gi, Set: si})
+	gi, si, sbi = intField(func(r *Record) int64 { return r.ReservationID }, func(r *Record, v int64) { r.ReservationID = v })
+	addField(Field{Name: "ReservationID", Category: CatIdentification, Doc: "advance reservation id", Get: gi, Set: si, SetBytes: sbi})
 
 	// --- Timing Information ---
 	addTimestamp("Submit", CatTiming, "submission time",
@@ -126,16 +150,16 @@ func defineFields() {
 		func(r *Record) *durRef { return (*durRef)(&r.Timelimit) })
 
 	// --- Resource Requests ---
-	gi, si = intField(func(r *Record) int64 { return r.NNodes }, func(r *Record, v int64) { r.NNodes = v })
-	addField(Field{Name: "NNodes", Category: CatRequests, Doc: "allocated node count", Get: gi, Set: si})
-	gi, si = intField(func(r *Record) int64 { return r.NCPUs }, func(r *Record, v int64) { r.NCPUs = v })
-	addField(Field{Name: "NCPUS", Category: CatRequests, Doc: "allocated CPU count", Get: gi, Set: si})
-	gi, si = intField(func(r *Record) int64 { return r.NTasks }, func(r *Record, v int64) { r.NTasks = v })
-	addField(Field{Name: "NTasks", Category: CatRequests, Doc: "task count (steps)", Get: gi, Set: si})
-	gi, si = intField(func(r *Record) int64 { return r.ReqNodes }, func(r *Record, v int64) { r.ReqNodes = v })
-	addField(Field{Name: "ReqNodes", Category: CatRequests, Doc: "requested node count", Get: gi, Set: si})
-	gi, si = intField(func(r *Record) int64 { return r.ReqCPUs }, func(r *Record, v int64) { r.ReqCPUs = v })
-	addField(Field{Name: "ReqCPUS", Category: CatRequests, Doc: "requested CPU count", Get: gi, Set: si})
+	gi, si, sbi = intField(func(r *Record) int64 { return r.NNodes }, func(r *Record, v int64) { r.NNodes = v })
+	addField(Field{Name: "NNodes", Category: CatRequests, Doc: "allocated node count", Get: gi, Set: si, SetBytes: sbi})
+	gi, si, sbi = intField(func(r *Record) int64 { return r.NCPUs }, func(r *Record, v int64) { r.NCPUs = v })
+	addField(Field{Name: "NCPUS", Category: CatRequests, Doc: "allocated CPU count", Get: gi, Set: si, SetBytes: sbi})
+	gi, si, sbi = intField(func(r *Record) int64 { return r.NTasks }, func(r *Record, v int64) { r.NTasks = v })
+	addField(Field{Name: "NTasks", Category: CatRequests, Doc: "task count (steps)", Get: gi, Set: si, SetBytes: sbi})
+	gi, si, sbi = intField(func(r *Record) int64 { return r.ReqNodes }, func(r *Record, v int64) { r.ReqNodes = v })
+	addField(Field{Name: "ReqNodes", Category: CatRequests, Doc: "requested node count", Get: gi, Set: si, SetBytes: sbi})
+	gi, si, sbi = intField(func(r *Record) int64 { return r.ReqCPUs }, func(r *Record, v int64) { r.ReqCPUs = v })
+	addField(Field{Name: "ReqCPUS", Category: CatRequests, Doc: "requested CPU count", Get: gi, Set: si, SetBytes: sbi})
 	addField(Field{Name: "ReqMem", Category: CatRequests, Doc: "requested memory",
 		Get: func(r *Record) string { return FormatMemory(r.ReqMem, r.ReqMemPerCPU) },
 		Set: func(r *Record, s string) error {
@@ -144,6 +168,14 @@ func defineFields() {
 				return err
 			}
 			r.ReqMem, r.ReqMemPerCPU = b, perCPU
+			return nil
+		},
+		SetBytes: func(r *Record, b []byte) error {
+			v, perCPU, err := ParseMemoryBytes(b)
+			if err != nil {
+				return err
+			}
+			r.ReqMem, r.ReqMemPerCPU = v, perCPU
 			return nil
 		}})
 	g, s = strField(func(r *Record) string { return r.ReqGRES }, func(r *Record, v string) { r.ReqGRES = v })
@@ -164,8 +196,8 @@ func defineFields() {
 		func(r *Record) *int64 { return &r.MaxRSS })
 	addBytes("AveRSS", CatUsage, "average resident set size",
 		func(r *Record) *int64 { return &r.AveRSS })
-	gi, si = intField(func(r *Record) int64 { return r.AvePages }, func(r *Record, v int64) { r.AvePages = v })
-	addField(Field{Name: "AvePages", Category: CatUsage, Doc: "average page faults per task", Get: gi, Set: si})
+	gi, si, sbi = intField(func(r *Record) int64 { return r.AvePages }, func(r *Record, v int64) { r.AvePages = v })
+	addField(Field{Name: "AvePages", Category: CatUsage, Doc: "average page faults per task", Get: gi, Set: si, SetBytes: sbi})
 	addDuration("TotalCPU", CatUsage, "total consumed CPU time",
 		func(r *Record) *durRef { return (*durRef)(&r.TotalCPU) })
 	addDuration("UserCPU", CatUsage, "user-mode CPU time",
@@ -174,8 +206,8 @@ func defineFields() {
 		func(r *Record) *durRef { return (*durRef)(&r.SystemCPU) })
 	g, s = strField(func(r *Record) string { return r.NodeList }, func(r *Record, v string) { r.NodeList = v })
 	addField(Field{Name: "NodeList", Category: CatUsage, Doc: "allocated node list", Get: g, Set: s})
-	gi, si = intField(func(r *Record) int64 { return r.ConsumedEnergy }, func(r *Record, v int64) { r.ConsumedEnergy = v })
-	addField(Field{Name: "ConsumedEnergy", Category: CatUsage, Doc: "energy consumed (J)", Get: gi, Set: si})
+	gi, si, sbi = intField(func(r *Record) int64 { return r.ConsumedEnergy }, func(r *Record, v int64) { r.ConsumedEnergy = v })
+	addField(Field{Name: "ConsumedEnergy", Category: CatUsage, Doc: "energy consumed (J)", Get: gi, Set: si, SetBytes: sbi})
 
 	// --- IO Related ---
 	g, s = strField(func(r *Record) string { return r.WorkDir }, func(r *Record, v string) { r.WorkDir = v })
@@ -195,11 +227,27 @@ func defineFields() {
 			}
 			r.State = st
 			return nil
+		},
+		SetBytes: func(r *Record, b []byte) error {
+			st, err := ParseStateBytes(b)
+			if err != nil {
+				return err
+			}
+			r.State = st
+			return nil
 		}})
 	addField(Field{Name: "ExitCode", Category: CatState, Doc: "exit:signal pair",
 		Get: func(r *Record) string { return FormatExitCode(r.ExitCode, r.ExitSignal) },
 		Set: func(r *Record, s string) error {
 			e, sig, err := ParseExitCode(s)
+			if err != nil {
+				return err
+			}
+			r.ExitCode, r.ExitSignal = e, sig
+			return nil
+		},
+		SetBytes: func(r *Record, b []byte) error {
+			e, sig, err := ParseExitCodeBytes(b)
 			if err != nil {
 				return err
 			}
@@ -212,14 +260,14 @@ func defineFields() {
 	addField(Field{Name: "Reason", Category: CatState, Doc: "pending/termination reason", Get: g, Set: s})
 	addDuration("Suspended", CatState, "time spent suspended",
 		func(r *Record) *durRef { return (*durRef)(&r.Suspended) })
-	gi, si = intField(func(r *Record) int64 { return r.Restarts }, func(r *Record, v int64) { r.Restarts = v })
-	addField(Field{Name: "Restarts", Category: CatState, Doc: "requeue/restart count", Get: gi, Set: si})
+	gi, si, sbi = intField(func(r *Record) int64 { return r.Restarts }, func(r *Record, v int64) { r.Restarts = v })
+	addField(Field{Name: "Restarts", Category: CatState, Doc: "requeue/restart count", Get: gi, Set: si, SetBytes: sbi})
 	g, s = strField(func(r *Record) string { return r.Constraints }, func(r *Record, v string) { r.Constraints = v })
 	addField(Field{Name: "Constraints", Category: CatState, Doc: "node feature constraints", Get: g, Set: s})
 
 	// --- Scheduling Metadata ---
-	gi, si = intField(func(r *Record) int64 { return r.Priority }, func(r *Record, v int64) { r.Priority = v })
-	addField(Field{Name: "Priority", Category: CatScheduling, Doc: "multifactor priority at dispatch", Get: gi, Set: si})
+	gi, si, sbi = intField(func(r *Record) int64 { return r.Priority }, func(r *Record, v int64) { r.Priority = v })
+	addField(Field{Name: "Priority", Category: CatScheduling, Doc: "multifactor priority at dispatch", Get: gi, Set: si, SetBytes: sbi})
 	addTimestamp("Eligible", CatScheduling, "time the job became eligible to run",
 		func(r *Record) *timeRef { return (*timeRef)(&r.Eligible) })
 	g, s = strField(func(r *Record) string { return r.QOS }, func(r *Record, v string) { r.QOS = v })
@@ -238,11 +286,35 @@ func defineFields() {
 			}
 			r.TRESUsageInAve = t
 			return nil
+		},
+		SetBytes: func(r *Record, b []byte) error {
+			if len(bytes.TrimSpace(b)) == 0 {
+				r.TRESUsageInAve = nil // renders identically to an empty map
+				return nil
+			}
+			t, err := ParseTRES(string(b))
+			if err != nil {
+				return err
+			}
+			r.TRESUsageInAve = t
+			return nil
 		}})
 	addField(Field{Name: "ReqTRES", Category: CatScheduling, Doc: "requested trackable resources",
 		Get: func(r *Record) string { return r.TRESReq.String() },
 		Set: func(r *Record, s string) error {
 			t, err := ParseTRES(s)
+			if err != nil {
+				return err
+			}
+			r.TRESReq = t
+			return nil
+		},
+		SetBytes: func(r *Record, b []byte) error {
+			if len(bytes.TrimSpace(b)) == 0 {
+				r.TRESReq = nil // renders identically to an empty map
+				return nil
+			}
+			t, err := ParseTRES(string(b))
 			if err != nil {
 				return err
 			}
@@ -270,11 +342,23 @@ func defineFields() {
 				return fmt.Errorf("slurm: bad Backfill value %q", s)
 			}
 			return nil
+		},
+		SetBytes: func(r *Record, b []byte) error {
+			switch string(bytes.TrimSpace(b)) { // no alloc: switch on []byte conversion
+			case "1", "true":
+				if !r.Backfilled() {
+					r.Flags = append(r.Flags, FlagBackfill)
+				}
+			case "0", "false", "":
+			default:
+				return fmt.Errorf("slurm: bad Backfill value %q", b)
+			}
+			return nil
 		}})
 	g, s = strField(func(r *Record) string { return r.Dependency }, func(r *Record, v string) { r.Dependency = v })
 	addField(Field{Name: "Dependency", Category: CatSpecial, Doc: "job dependency expression", Get: g, Set: s})
-	gi, si = intField(func(r *Record) int64 { return r.ArrayJobID }, func(r *Record, v int64) { r.ArrayJobID = v })
-	addField(Field{Name: "ArrayJobID", Category: CatSpecial, Doc: "parent array job id (0 when none)", Get: gi, Set: si})
+	gi, si, sbi = intField(func(r *Record) int64 { return r.ArrayJobID }, func(r *Record, v int64) { r.ArrayJobID = v })
+	addField(Field{Name: "ArrayJobID", Category: CatSpecial, Doc: "parent array job id (0 when none)", Get: gi, Set: si, SetBytes: sbi})
 
 	// --- Misc ---
 	g, s = strField(func(r *Record) string { return r.Comment }, func(r *Record, v string) { r.Comment = v })
@@ -302,6 +386,14 @@ func addTimestamp(name string, cat Category, doc string, ref func(*Record) *time
 			}
 			*ref(r) = timeRef(t)
 			return nil
+		},
+		SetBytes: func(r *Record, b []byte) error {
+			t, err := ParseTimeBytes(b)
+			if err != nil {
+				return err
+			}
+			*ref(r) = timeRef(t)
+			return nil
 		}})
 }
 
@@ -310,6 +402,14 @@ func addDuration(name string, cat Category, doc string, ref func(*Record) *durRe
 		Get: func(r *Record) string { return FormatDuration(time.Duration(*ref(r))) },
 		Set: func(r *Record, s string) error {
 			d, err := ParseDuration(s)
+			if err != nil {
+				return err
+			}
+			*ref(r) = durRef(d)
+			return nil
+		},
+		SetBytes: func(r *Record, b []byte) error {
+			d, err := ParseDurationBytes(b)
 			if err != nil {
 				return err
 			}
@@ -327,6 +427,14 @@ func addBytes(name string, cat Category, doc string, ref func(*Record) *int64) {
 				return err
 			}
 			*ref(r) = b
+			return nil
+		},
+		SetBytes: func(r *Record, b []byte) error {
+			v, _, err := ParseMemoryBytes(b)
+			if err != nil {
+				return err
+			}
+			*ref(r) = v
 			return nil
 		}})
 }

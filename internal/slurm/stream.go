@@ -59,14 +59,9 @@ func NewRecordReader(r io.Reader) (*RecordReader, error) {
 		}
 		return nil, fmt.Errorf("slurm: input has no header")
 	}
-	names := strings.Split(strings.TrimSpace(sc.Text()), Separator)
-	fields := make([]*Field, len(names))
-	for i, name := range names {
-		f, ok := fieldIndex[strings.ToLower(strings.TrimSpace(name))]
-		if !ok {
-			return nil, fmt.Errorf("slurm: unknown field %q in header", name)
-		}
-		fields[i] = f
+	fields, names, err := resolveHeader(sc.Text())
+	if err != nil {
+		return nil, err
 	}
 	return &RecordReader{
 		sc:     sc,
@@ -162,6 +157,22 @@ func CollectRecords(seq RecordSeq) (recs []Record, malformed int, err error) {
 		recs = append(recs, *r)
 	}
 	return recs, malformed, nil
+}
+
+// resolveHeader maps one raw header line to its field accessors in
+// column order. Shared by the string and byte decoders so both accept
+// exactly the same headers.
+func resolveHeader(line string) ([]*Field, []string, error) {
+	names := strings.Split(strings.TrimSpace(line), Separator)
+	fields := make([]*Field, len(names))
+	for i, name := range names {
+		f, ok := fieldIndex[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			return nil, nil, fmt.Errorf("slurm: unknown field %q in header", name)
+		}
+		fields[i] = f
+	}
+	return fields, names, nil
 }
 
 // splitInto splits line on the sacct column separator into buf, growing

@@ -185,9 +185,9 @@ func BenchmarkRecordReaderDecode(b *testing.B) {
 	rec := Record{
 		ID: NewJobID(123456), JobName: "bench", User: "alice", Account: "csc000",
 		Cluster: "frontier", Partition: "batch",
-		Submit: time.Date(2024, 3, 1, 10, 0, 0, 0, time.UTC),
-		Start:  time.Date(2024, 3, 1, 11, 0, 0, 0, time.UTC),
-		End:    time.Date(2024, 3, 1, 13, 0, 0, 0, time.UTC),
+		Submit:  time.Date(2024, 3, 1, 10, 0, 0, 0, time.UTC),
+		Start:   time.Date(2024, 3, 1, 11, 0, 0, 0, time.UTC),
+		End:     time.Date(2024, 3, 1, 13, 0, 0, 0, time.UTC),
 		Elapsed: 2 * time.Hour, Timelimit: 4 * time.Hour,
 		NNodes: 128, NCPUs: 8192, State: StateCompleted,
 		Flags: []string{FlagBackfill}, QOS: "normal",
