@@ -20,6 +20,23 @@ import (
 	"slurmsight/internal/slurm"
 )
 
+// openStore loads a trace in the requested store format. The binary
+// columnar format opens lazily — a projected query (-o) then decodes
+// only the selected columns.
+func openStore(path, format string) (*sacct.Store, int, error) {
+	switch format {
+	case "auto":
+		return sacct.OpenFile(path)
+	case "text":
+		return sacct.LoadFile(path)
+	case "binary":
+		st, err := sacct.OpenBinary(path)
+		return st, 0, err
+	default:
+		return nil, 0, fmt.Errorf("unknown -store-format %q (want auto, text, or binary)", format)
+	}
+}
+
 func parseDay(s, name string) time.Time {
 	if s == "" {
 		return time.Time{}
@@ -47,13 +64,16 @@ func main() {
 		state     = flag.String("s", "", "filter by final state")
 		listOnly  = flag.Bool("months", false, "list populated months and exit")
 		jobID     = flag.String("j", "", "show one job and its steps, then exit")
+		format    = flag.String("store-format", "auto",
+			"trace format: auto (sniff the magic), text, or binary (columnar)")
 	)
 	flag.Parse()
 
-	store, malformed, err := sacct.LoadFile(*trace)
+	store, malformed, err := openStore(*trace, *format)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer store.Close()
 	if malformed > 0 {
 		fmt.Fprintf(os.Stderr, "warning: %d malformed rows dropped on load\n", malformed)
 	}

@@ -8,6 +8,9 @@
 //	streambench -run -mode stream -path trace-1m.txt
 //	streambench -run -mode slices -path trace-1m.txt
 //	streambench -run -mode parallel -workers 4 -path trace-1m.txt -json BENCH_ingest.json
+//	streambench -convert -path trace-1m.txt
+//	streambench -run -mode textload -path trace-1m.txt -json BENCH_ingest.json
+//	streambench -run -mode colstore -path trace-1m.txt.colstore -json BENCH_ingest.json
 //
 // The -gen phase simulates a seed workload once and tiles its encoded
 // rows to the requested count, so multi-million-row inputs cost seconds
@@ -17,6 +20,14 @@
 // peak RSS) to a machine-readable array so the perf trajectory is
 // diffable across PRs. EXPERIMENTS.md "Parallel chunked ingest" records
 // the sweep.
+//
+// -convert rewrites a text trace as a binary columnar shard file
+// (<path>.colstore). The textload/colstore run pair then measures the
+// reload tax head-to-head: reload_ms is time-to-usable-Store (full text
+// parse vs O(open + footer)), proj_ms is a two-field projected query
+// (colstore decodes only those columns; columns_read/bytes_read/
+// bytes_mapped snapshot the projection before the full scan), and
+// scan_ms is a full materialising scan.
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -35,6 +47,7 @@ import (
 	"slurmsight/internal/analyze"
 	"slurmsight/internal/cluster"
 	"slurmsight/internal/curate"
+	"slurmsight/internal/sacct"
 	"slurmsight/internal/sched"
 	"slurmsight/internal/slurm"
 	"slurmsight/internal/tracegen"
@@ -49,9 +62,11 @@ func main() {
 	var (
 		gen     = flag.Bool("gen", false, "generate a trace file and exit")
 		run     = flag.Bool("run", false, "run one analysis pass over -path")
+		convert = flag.Bool("convert", false, "rewrite the text trace at -path as <path>.colstore and exit")
 		rows    = flag.Int("rows", 1_000_000, "data rows to generate with -gen")
-		mode    = flag.String("mode", "stream", "analysis path with -run: stream, slices, or parallel")
+		mode    = flag.String("mode", "stream", "analysis path with -run: stream, slices, parallel, textload, or colstore")
 		path    = flag.String("path", "trace.txt", "trace file")
+		out     = flag.String("out", "", "output path with -convert (default <path>.colstore)")
 		seed    = flag.Int64("seed", 41, "workload RNG seed for -gen")
 		workers = flag.Int("workers", 1, "chunk decoders with -mode parallel")
 		jsonOut = flag.String("json", "", "append the run's result to this JSON array file")
@@ -63,13 +78,45 @@ func main() {
 		if err := generate(*path, *rows, *seed); err != nil {
 			log.Fatal(err)
 		}
+	case *convert:
+		if err := convertTrace(*path, *out); err != nil {
+			log.Fatal(err)
+		}
 	case *run:
 		if err := measure(*path, *mode, *workers, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 	default:
-		log.Fatal("pick one of -gen or -run")
+		log.Fatal("pick one of -gen, -convert, or -run")
 	}
+}
+
+// convertTrace loads a text trace and rewrites it in the binary columnar
+// shard format, reporting the size delta. Conversion is a one-time cost;
+// every later reload pays only the footer parse.
+func convertTrace(path, out string) error {
+	if out == "" {
+		out = path + ".colstore"
+	}
+	t0 := time.Now()
+	st, malformed, err := sacct.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	if malformed > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d malformed rows dropped\n", malformed)
+	}
+	loadWall := time.Since(t0)
+	t1 := time.Now()
+	if err := st.DumpBinaryFile(out); err != nil {
+		return err
+	}
+	textSt, _ := os.Stat(path)
+	binSt, _ := os.Stat(out)
+	fmt.Printf("converted %s -> %s: %d records, %.1f MB -> %.1f MB (load %s, encode %s)\n",
+		path, out, st.Len(), float64(textSt.Size())/(1<<20), float64(binSt.Size())/(1<<20),
+		loadWall.Round(time.Millisecond), time.Since(t1).Round(time.Millisecond))
+	return nil
 }
 
 // generate simulates a seed workload, then tiles its encoded rows until
@@ -137,6 +184,17 @@ type benchResult struct {
 	NsPerOp      float64 `json:"ns_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+
+	// Store-reload modes (textload, colstore) split the wall into the
+	// reload (time-to-usable-Store), a two-field projected query, and a
+	// full materialising scan. The colstore byte counters snapshot the
+	// projection point, proving it touched only the selected columns.
+	ReloadMS    float64 `json:"reload_ms,omitempty"`
+	ProjMS      float64 `json:"proj_ms,omitempty"`
+	ScanMS      float64 `json:"scan_ms,omitempty"`
+	ColumnsRead int64   `json:"columns_read,omitempty"`
+	BytesRead   int64   `json:"bytes_read,omitempty"`
+	BytesMapped int64   `json:"bytes_mapped,omitempty"`
 }
 
 // measure runs one analysis pass and reports wall time, allocation
@@ -144,7 +202,14 @@ type benchResult struct {
 func measure(path, mode string, workers int, jsonOut string) error {
 	t0 := time.Now()
 	var records int64
+	var reload benchResult // reload/proj/scan extras for the store modes
 	switch mode {
+	case "textload", "colstore":
+		r, err := measureReload(path, mode)
+		if err != nil {
+			return err
+		}
+		reload, records = r, r.Rows
 	case "stream":
 		b := analyze.NewBundle(bucket)
 		var rep curate.Report
@@ -202,18 +267,63 @@ func measure(path, mode string, workers int, jsonOut string) error {
 	if jsonOut == "" {
 		return nil
 	}
-	res := benchResult{
-		Mode:         mode,
-		Rows:         records,
-		Workers:      workers,
-		WallMS:       float64(wall) / float64(time.Millisecond),
-		PeakRSSBytes: hwm,
-	}
+	res := reload
+	res.Mode = mode
+	res.Rows = records
+	res.Workers = workers
+	res.WallMS = float64(wall) / float64(time.Millisecond)
+	res.PeakRSSBytes = hwm
 	if records > 0 {
 		res.NsPerOp = float64(wall.Nanoseconds()) / float64(records)
 		res.AllocsPerOp = float64(ms.Mallocs) / float64(records)
 	}
 	return appendResult(jsonOut, res)
+}
+
+// measureReload times the store-reload path: time-to-usable-Store, a
+// two-field projected query, and a full materialising scan. For colstore
+// it also snapshots the read counters right after the projection, before
+// the full scan inflates them — bytes_read at that point is the proof
+// that the projection touched only the User/Elapsed/JobID regions.
+func measureReload(path, mode string) (benchResult, error) {
+	var r benchResult
+	t0 := time.Now()
+	var st *sacct.Store
+	var err error
+	switch mode {
+	case "textload":
+		st, _, err = sacct.LoadFile(path)
+	case "colstore":
+		st, err = sacct.OpenBinary(path)
+	}
+	if err != nil {
+		return r, err
+	}
+	defer st.Close()
+	r.ReloadMS = float64(time.Since(t0)) / float64(time.Millisecond)
+
+	t1 := time.Now()
+	if _, err := st.Write(io.Discard, sacct.Query{Fields: []string{"User", "Elapsed"}}); err != nil {
+		return r, err
+	}
+	r.ProjMS = float64(time.Since(t1)) / float64(time.Millisecond)
+	if stats, ok := st.ColstoreStats(); ok {
+		r.ColumnsRead = stats.ColumnsRead
+		r.BytesRead = stats.BytesRead
+		r.BytesMapped = stats.BytesMapped
+	}
+
+	t2 := time.Now()
+	for _, err := range st.Scan(sacct.Query{IncludeSteps: true}) {
+		if err != nil {
+			return r, err
+		}
+		r.Rows++
+	}
+	r.ScanMS = float64(time.Since(t2)) / float64(time.Millisecond)
+	fmt.Printf("mode=%s reload=%.1fms proj=%.1fms scan=%.1fms columns_read=%d bytes_read=%d bytes_mapped=%d\n",
+		mode, r.ReloadMS, r.ProjMS, r.ScanMS, r.ColumnsRead, r.BytesRead, r.BytesMapped)
+	return r, nil
 }
 
 // appendResult folds one measurement into the JSON array at path,

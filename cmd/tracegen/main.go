@@ -38,6 +38,7 @@ func main() {
 		users      = flag.Int("users", 0, "override the profile user population")
 		seed       = flag.Int64("seed", 1, "workload RNG seed")
 		out        = flag.String("out", "trace.txt", "output dump path")
+		format     = flag.String("format", "text", "dump format: text (pipe-separated) or binary (columnar)")
 		profile    = flag.String("profile", "", "JSON workload profile (overrides -system/-scenario)")
 		noSteps    = flag.Bool("no-steps", false, "skip step records (job-level trace only)")
 		noBackfill = flag.Bool("no-backfill", false, "disable EASY backfill in the simulator")
@@ -121,8 +122,16 @@ func main() {
 	store := sacct.NewStore()
 	store.Ingest(res)
 	store.Finalize()
-	if err := store.DumpFile(*out); err != nil {
+	switch *format {
+	case "text":
+		err = store.DumpFile(*out)
+	case "binary":
+		err = store.DumpBinaryFile(*out)
+	default:
+		err = fmt.Errorf("unknown -format %q (want text or binary)", *format)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", store.Len(), *out)
+	fmt.Fprintf(os.Stderr, "wrote %d records to %s (%s)\n", store.Len(), *out, *format)
 }

@@ -251,6 +251,9 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	// Binary-backed stores mirror their column-read counters into the
+	// run's registry (colstore_* metrics); a no-op otherwise.
+	cfg.Store.Instrument(cfg.Metrics)
 	for _, dir := range []string{cfg.OutputDir, cfg.CacheDir} {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err

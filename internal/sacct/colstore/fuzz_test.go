@@ -1,0 +1,88 @@
+package colstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"slurmsight/internal/slurm"
+)
+
+// FuzzColumnDecode feeds arbitrary bytes through every column decoder:
+// whatever the input, decoding must return (possibly an error), never
+// panic, and a region that decodes cleanly must consume predictably.
+func FuzzColumnDecode(f *testing.F) {
+	// Seed with one real region per column so the fuzzer starts from
+	// structurally valid varint streams.
+	recs := genRecords(99, 16, monthStart(2024, time.April))
+	enc := &colEncoder{dict: map[string]uint64{}}
+	for ci := range columns {
+		enc.reset()
+		for ri := range recs {
+			columns[ci].enc(enc, &recs[ri])
+		}
+		f.Add(uint8(ci), enc.region(columns[ci].kind, nil))
+	}
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(3), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	in := slurm.NewInterner()
+	f.Fuzz(func(t *testing.T, sel uint8, data []byte) {
+		def := &columns[int(sel)%len(columns)]
+		dec, err := newColDecoder(def.kind, data, in)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-corrupt decoder error: %v", err)
+			}
+			return
+		}
+		var r slurm.Record
+		for rows := 0; rows < 1<<16 && dec.r.len() > 0; rows++ {
+			if err := def.dec(dec, &r); err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("non-corrupt row error: %v", err)
+				}
+				return
+			}
+		}
+	})
+}
+
+// FuzzFooterParse throws arbitrary bytes at the footer parser; it must
+// reject or accept without panicking, and every accepted footer must
+// re-encode to something parseable.
+func FuzzFooterParse(f *testing.F) {
+	recs := genRecords(98, 8, monthStart(2024, time.April))
+	var buf bytes.Buffer
+	if err := Write(&buf, []ShardInput{{Year: 2024, Mon: time.April, Records: recs}}); err != nil {
+		f.Fatal(err)
+	}
+	data := buf.Bytes()
+	footOff := int(uint64FromTrailer(data))
+	f.Add(data[footOff : len(data)-trailerLen])
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+
+	f.Fuzz(func(t *testing.T, footer []byte) {
+		metas, err := parseFooter(footer, 1<<40)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-corrupt footer error: %v", err)
+			}
+			return
+		}
+		re := appendFooter(nil, metas)
+		if _, err := parseFooter(re, 1<<40); err != nil {
+			t.Fatalf("re-encoded footer does not parse: %v", err)
+		}
+	})
+}
+
+func uint64FromTrailer(data []byte) uint64 {
+	var u uint64
+	for i := 7; i >= 0; i-- {
+		u = u<<8 | uint64(data[len(data)-trailerLen+i])
+	}
+	return u
+}

@@ -1,0 +1,40 @@
+//go:build linux
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. Empty files and mmap failures fall back
+// to a heap read so Open works on any filesystem; mapped reports which
+// path was taken so Close knows whether to munmap.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, false, nil
+	}
+	if int64(int(size)) != size {
+		return nil, false, syscall.EFBIG
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// tmpfs edge cases, FUSE mounts, … — fall back to a plain read.
+		data, err = os.ReadFile(path)
+		return data, false, err
+	}
+	return data, true, nil
+}
+
+// unmapFile releases a mapping produced by mapFile.
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package colstore
+
+import "os"
+
+// mapFile reads path into the heap on platforms without the mmap fast
+// path; the format stays identical, only the residency strategy differs.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	data, err = os.ReadFile(path)
+	return data, false, err
+}
+
+func unmapFile([]byte) error { return nil }

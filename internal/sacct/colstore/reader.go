@@ -1,0 +1,302 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slurmsight/internal/obs"
+	"slurmsight/internal/slurm"
+)
+
+// Stats is a point-in-time snapshot of a file's read-side counters: the
+// projection proof. BytesRead counts only the column regions actually
+// decoded (plus the footer), so a two-field query over a 59-column shard
+// shows two columns' bytes, not the shard's.
+type Stats struct {
+	ShardsOpened int64 // shards whose metadata was served
+	ColumnsRead  int64 // column regions decoded (re-decodes count)
+	BytesRead    int64 // bytes of column regions decoded + footer bytes
+	BytesMapped  int64 // bytes of file mapped (or read on the fallback path)
+	RowsDecoded  int64 // records materialised across all decodes
+}
+
+// File is an opened columnar store. Opening costs one trailer read, one
+// footer parse, and one mapping — no row data is touched until a shard
+// decode asks for it. A File is safe for concurrent shard decodes.
+type File struct {
+	path   string
+	data   []byte
+	mapped bool // data is an mmap region, not heap
+	shards []*Shard
+
+	mu sync.Mutex // guards interner (dict decode) only
+	in *slurm.Interner
+
+	shardsOpened atomic.Int64
+	columnsRead  atomic.Int64
+	bytesRead    atomic.Int64
+	rowsDecoded  atomic.Int64
+
+	// obs mirrors; nil until Instrument, and nil-safe throughout.
+	cShards, cColumns, cBytes, cRows *obs.Counter
+	gMapped                          *obs.Gauge
+}
+
+// Shard exposes one month's footer metadata and decodes its columns on
+// demand.
+type Shard struct {
+	f    *File
+	meta shardMeta
+	byLC map[string]*columnMeta // lower-cased column name → meta
+}
+
+// Open maps path and parses its footer. A file without the columnar
+// magic returns ErrNotColstore (fall back to the text loader); an
+// unknown version returns ErrVersion; structural damage returns
+// ErrCorrupt.
+func Open(path string) (*File, error) {
+	data, mapped, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{path: path, data: data, mapped: mapped, in: slurm.NewInterner()}
+	if err := f.parse(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *File) parse() error {
+	data := f.data
+	if len(data) < len(headerMagic) || string(data[:len(headerMagic)]) != headerMagic {
+		return ErrNotColstore
+	}
+	if len(data) < headerLen+trailerLen {
+		// The magic is there but the file cannot hold a trailer: a
+		// truncated columnar file, not a text dump — no fallback.
+		return fmt.Errorf("%w: %d bytes is too short for a columnar file", ErrCorrupt, len(data))
+	}
+	version := binary.LittleEndian.Uint16(data[len(headerMagic):])
+	if version != Version {
+		return fmt.Errorf("%w: file is v%d, reader is v%d", ErrVersion, version, Version)
+	}
+	trailer := data[len(data)-trailerLen:]
+	if string(trailer[12:]) != trailerMagic {
+		return fmt.Errorf("%w: trailer magic missing", ErrCorrupt)
+	}
+	footOff := binary.LittleEndian.Uint64(trailer)
+	footCRC := binary.LittleEndian.Uint32(trailer[8:])
+	if footOff < uint64(headerLen) || footOff > uint64(len(data)-trailerLen) {
+		return fmt.Errorf("%w: footer offset %d outside file", ErrCorrupt, footOff)
+	}
+	footer := data[footOff : len(data)-trailerLen]
+	if checksum(footer) != footCRC {
+		return fmt.Errorf("%w: footer checksum mismatch", ErrCorrupt)
+	}
+	metas, err := parseFooter(footer, footOff) // columns must precede the footer
+	if err != nil {
+		return err
+	}
+	f.bytesRead.Add(int64(len(footer)))
+	f.shards = make([]*Shard, len(metas))
+	for i, m := range metas {
+		byLC := make(map[string]*columnMeta, len(m.cols))
+		sh := &Shard{f: f, meta: m, byLC: byLC}
+		for j := range sh.meta.cols {
+			byLC[strings.ToLower(sh.meta.cols[j].name)] = &sh.meta.cols[j]
+		}
+		f.shards[i] = sh
+	}
+	return nil
+}
+
+// Close releases the mapping. Decoded records survive Close; undecoded
+// shards do not.
+func (f *File) Close() error {
+	data := f.data
+	f.data = nil
+	if f.mapped && data != nil {
+		return unmapFile(data)
+	}
+	return nil
+}
+
+// Path returns the file the store was opened from.
+func (f *File) Path() string { return f.path }
+
+// Size returns the mapped file size in bytes.
+func (f *File) Size() int64 { return int64(len(f.data)) }
+
+// Shards returns the month shards in file order.
+func (f *File) Shards() []*Shard { return f.shards }
+
+// Instrument mirrors the file's counters into reg (colstore_* metrics).
+// Counts accumulated before Instrument are carried over.
+func (f *File) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	f.cShards = reg.Counter("colstore_shards_opened_total")
+	f.cColumns = reg.Counter("colstore_columns_read_total")
+	f.cBytes = reg.Counter("colstore_bytes_read_total")
+	f.cRows = reg.Counter("colstore_rows_decoded_total")
+	f.gMapped = reg.Gauge("colstore_bytes_mapped")
+	f.cShards.Add(f.shardsOpened.Load())
+	f.cColumns.Add(f.columnsRead.Load())
+	f.cBytes.Add(f.bytesRead.Load())
+	f.cRows.Add(f.rowsDecoded.Load())
+	f.gMapped.Set(int64(len(f.data)))
+}
+
+// Stats snapshots the read counters.
+func (f *File) Stats() Stats {
+	return Stats{
+		ShardsOpened: f.shardsOpened.Load(),
+		ColumnsRead:  f.columnsRead.Load(),
+		BytesRead:    f.bytesRead.Load(),
+		BytesMapped:  int64(len(f.data)),
+		RowsDecoded:  f.rowsDecoded.Load(),
+	}
+}
+
+// Year, Mon, Rows, Sorted, and the submit range expose the footer
+// metadata a reload needs — no row bytes are touched.
+func (s *Shard) Year() int       { return s.meta.year }
+func (s *Shard) Mon() time.Month { return s.meta.mon }
+func (s *Shard) Rows() int       { return s.meta.rows }
+func (s *Shard) Sorted() bool    { return s.meta.sorted }
+
+// SubmitRange returns the shard's min and max submit times; ok is false
+// for an empty shard.
+func (s *Shard) SubmitRange() (min, max time.Time, ok bool) {
+	if s.meta.rows == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return time.Unix(0, s.meta.minSub).UTC(), time.Unix(0, s.meta.maxSub).UTC(), true
+}
+
+// ColumnNames returns the shard's column names in file order.
+func (s *Shard) ColumnNames() []string {
+	out := make([]string, len(s.meta.cols))
+	for i := range s.meta.cols {
+		out[i] = s.meta.cols[i].name
+	}
+	return out
+}
+
+// ColumnBytes returns the stored size of one column region, 0 when the
+// column is unknown.
+func (s *Shard) ColumnBytes(name string) int64 {
+	if c, ok := s.byLC[strings.ToLower(name)]; ok {
+		return int64(c.length)
+	}
+	return 0
+}
+
+// DecodeAll materialises every column into records.
+func (s *Shard) DecodeAll() ([]slurm.Record, error) {
+	return s.decode(nil)
+}
+
+// DecodeColumns materialises only the named columns (canonical slurm
+// field names, case-insensitive); every other record field is left
+// zero. Use ColumnsFor to map a query field selection to column names.
+func (s *Shard) DecodeColumns(cols []string) ([]slurm.Record, error) {
+	if cols == nil {
+		cols = ColumnNames()
+	}
+	return s.decode(cols)
+}
+
+func (s *Shard) decode(cols []string) ([]slurm.Record, error) {
+	s.f.shardsOpened.Add(1)
+	s.f.cShards.Inc()
+	if cols == nil {
+		cols = ColumnNames()
+	}
+	recs := make([]slurm.Record, s.meta.rows)
+	for _, name := range cols {
+		def, ok := columnIndex[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			return nil, fmt.Errorf("colstore: unknown column %q", name)
+		}
+		cm, ok := s.byLC[strings.ToLower(def.name)]
+		if !ok {
+			return nil, fmt.Errorf("%w: shard %04d-%02d has no column %s",
+				ErrCorrupt, s.meta.year, int(s.meta.mon), def.name)
+		}
+		if cm.kind != def.kind {
+			return nil, fmt.Errorf("%w: column %s stored as kind %d, schema wants %d",
+				ErrCorrupt, def.name, cm.kind, def.kind)
+		}
+		region, err := s.f.region(cm)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := s.newDecoder(cm.kind, region)
+		if err != nil {
+			return nil, fmt.Errorf("column %s: %w", def.name, err)
+		}
+		for i := range recs {
+			if err := def.dec(dec, &recs[i]); err != nil {
+				return nil, fmt.Errorf("column %s row %d: %w", def.name, i, err)
+			}
+		}
+		if dec.r.len() != 0 {
+			return nil, fmt.Errorf("%w: column %s has %d trailing bytes",
+				ErrCorrupt, def.name, dec.r.len())
+		}
+	}
+	s.f.rowsDecoded.Add(int64(len(recs)))
+	s.f.cRows.Add(int64(len(recs)))
+	return recs, nil
+}
+
+// newDecoder builds a column decoder, serialising interner access —
+// the only mutable state shared between concurrent decodes.
+func (s *Shard) newDecoder(kind colKind, region []byte) (*colDecoder, error) {
+	if !kind.hasDict() {
+		return newColDecoder(kind, region, nil)
+	}
+	s.f.mu.Lock()
+	defer s.f.mu.Unlock()
+	return newColDecoder(kind, region, s.f.in)
+}
+
+// region slices one verified column out of the mapping, charging the
+// read counters.
+func (f *File) region(cm *columnMeta) ([]byte, error) {
+	if f.data == nil {
+		return nil, fmt.Errorf("colstore: %s: file is closed", f.path)
+	}
+	b := f.data[cm.offset : cm.offset+cm.length]
+	if checksum(b) != cm.crc {
+		return nil, fmt.Errorf("%w: column %s checksum mismatch", ErrCorrupt, cm.name)
+	}
+	f.columnsRead.Add(1)
+	f.bytesRead.Add(int64(len(b)))
+	f.cColumns.Inc()
+	f.cBytes.Add(int64(len(b)))
+	return b, nil
+}
+
+// Sniff reports whether path starts with the columnar magic, without
+// parsing anything else. The cheap auto-detect for format selection.
+func Sniff(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	buf := make([]byte, len(headerMagic))
+	if _, err := f.Read(buf); err != nil {
+		return false
+	}
+	return string(buf) == headerMagic
+}

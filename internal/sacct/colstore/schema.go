@@ -1,0 +1,502 @@
+package colstore
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"time"
+
+	"slurmsight/internal/slurm"
+)
+
+// The column schema: one column per curated slurm field, named exactly
+// after the field catalogue so query field selections project directly
+// onto column reads. The derived "Backfill" field is the one catalogue
+// entry without a column — it reads through "Flags". Column order and
+// encodings are pinned by the format Version; changing either requires
+// a version bump.
+
+// colDef binds one column's name and encoding to Record accessors.
+type colDef struct {
+	name string
+	kind colKind
+	enc  func(e *colEncoder, r *slurm.Record)
+	dec  func(d *colDecoder, r *slurm.Record) error
+}
+
+// colEncoder accumulates one column region: the row stream plus, for
+// dictionary columns, the first-seen-order dictionary.
+type colEncoder struct {
+	buf     []byte
+	prev    int64 // delta chain for time columns
+	dict    map[string]uint64
+	dictBuf []byte
+}
+
+func (e *colEncoder) reset() {
+	e.buf, e.dictBuf = e.buf[:0], e.dictBuf[:0]
+	e.prev = 0
+	clear(e.dict)
+}
+
+func (e *colEncoder) uVal(u uint64)  { e.buf = appendUvarint(e.buf, u) }
+func (e *colEncoder) intVal(v int64) { e.uVal(zigzag(v)) }
+
+// timeVal delta-encodes a timestamp: 0 marks the zero time (sacct's
+// "Unknown") and leaves the delta chain untouched; any other value u
+// encodes zigzag(ns−prev)+1.
+func (e *colEncoder) timeVal(t time.Time) {
+	if t.IsZero() {
+		e.uVal(0)
+		return
+	}
+	ns := t.UnixNano()
+	e.uVal(zigzag(ns-e.prev) + 1)
+	e.prev = ns
+}
+
+func (e *colEncoder) dictIdx(s string) uint64 {
+	idx, ok := e.dict[s]
+	if !ok {
+		idx = uint64(len(e.dict))
+		e.dict[s] = idx
+		e.dictBuf = appendString(e.dictBuf, s)
+	}
+	return idx
+}
+
+func (e *colEncoder) dictVal(s string) { e.uVal(e.dictIdx(s)) }
+
+// tresVal encodes one TRES map natively — key-dictionary index plus
+// zigzag value per entry, keys in sorted order — so the exact int64
+// base-unit values survive, unlike the 2-decimal text rendering. The
+// leading count is 0 for a nil map, len+1 otherwise (an empty non-nil
+// map round-trips as empty, matching the text parser's output).
+func (e *colEncoder) tresVal(m slurm.TRES) {
+	if m == nil {
+		e.uVal(0)
+		return
+	}
+	e.uVal(uint64(len(m)) + 1)
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		e.uVal(e.dictIdx(k))
+		e.intVal(m[k])
+	}
+}
+
+// region assembles the final column bytes: dictionary header first for
+// dictionary-bearing kinds, then the row stream. The result aliases dst.
+func (e *colEncoder) region(kind colKind, dst []byte) []byte {
+	dst = dst[:0]
+	if kind.hasDict() {
+		dst = appendUvarint(dst, uint64(len(e.dict)))
+		dst = append(dst, e.dictBuf...)
+	}
+	return append(dst, e.buf...)
+}
+
+// colDecoder walks one column region row by row. Dictionary strings are
+// interned through the file-level interner so a value repeated across
+// shards materialises once per file, and the Flags cache parses each
+// dictionary entry once per decode instead of once per row.
+type colDecoder struct {
+	r    byteReader
+	prev int64
+	dict []string
+
+	flagsCache [][]string
+	flagsDone  []bool
+}
+
+// newColDecoder wraps a verified column region, materialising the
+// dictionary for dictionary-bearing kinds.
+func newColDecoder(kind colKind, data []byte, in *slurm.Interner) (*colDecoder, error) {
+	d := &colDecoder{r: byteReader{b: data}}
+	if !kind.hasDict() {
+		return d, nil
+	}
+	n, err := d.r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.r.len()) {
+		return nil, fmt.Errorf("%w: dictionary of %d entries exceeds region", ErrCorrupt, n)
+	}
+	d.dict = make([]string, n)
+	for i := range d.dict {
+		s, err := d.r.str()
+		if err != nil {
+			return nil, err
+		}
+		d.dict[i] = in.InternString(s)
+	}
+	return d, nil
+}
+
+func (d *colDecoder) timeVal() (time.Time, error) {
+	u, err := d.r.uvarint()
+	if err != nil || u == 0 {
+		return time.Time{}, err
+	}
+	d.prev += unzigzag(u - 1)
+	return time.Unix(0, d.prev).UTC(), nil
+}
+
+func (d *colDecoder) dictIdx() (int, error) {
+	u, err := d.r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if u >= uint64(len(d.dict)) {
+		return 0, fmt.Errorf("%w: dictionary index %d of %d", ErrCorrupt, u, len(d.dict))
+	}
+	return int(u), nil
+}
+
+// tresVal decodes one natively encoded TRES map.
+func (d *colDecoder) tresVal() (slurm.TRES, error) {
+	n, err := d.r.uvarint()
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	n--
+	if n > uint64(d.r.len()) { // each entry needs ≥2 bytes
+		return nil, fmt.Errorf("%w: TRES entry count %d exceeds region", ErrCorrupt, n)
+	}
+	m := make(slurm.TRES, n)
+	for i := uint64(0); i < n; i++ {
+		idx, err := d.dictIdx()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.r.varint()
+		if err != nil {
+			return nil, err
+		}
+		m[d.dict[idx]] = v
+	}
+	return m, nil
+}
+
+// --- column constructors ---
+
+func timeCol(name string, at func(*slurm.Record) *time.Time) colDef {
+	return colDef{name: name, kind: kindTime,
+		enc: func(e *colEncoder, r *slurm.Record) { e.timeVal(*at(r)) },
+		dec: func(d *colDecoder, r *slurm.Record) error {
+			t, err := d.timeVal()
+			if err != nil {
+				return err
+			}
+			*at(r) = t
+			return nil
+		}}
+}
+
+func durCol(name string, at func(*slurm.Record) *time.Duration) colDef {
+	return colDef{name: name, kind: kindDur,
+		enc: func(e *colEncoder, r *slurm.Record) { e.intVal(int64(*at(r))) },
+		dec: func(d *colDecoder, r *slurm.Record) error {
+			v, err := d.r.varint()
+			if err != nil {
+				return err
+			}
+			*at(r) = time.Duration(v)
+			return nil
+		}}
+}
+
+func intCol(name string, at func(*slurm.Record) *int64) colDef {
+	return colDef{name: name, kind: kindInt,
+		enc: func(e *colEncoder, r *slurm.Record) { e.intVal(*at(r)) },
+		dec: func(d *colDecoder, r *slurm.Record) error {
+			v, err := d.r.varint()
+			if err != nil {
+				return err
+			}
+			*at(r) = v
+			return nil
+		}}
+}
+
+func dictCol(name string, at func(*slurm.Record) *string) colDef {
+	return colDef{name: name, kind: kindDict,
+		enc: func(e *colEncoder, r *slurm.Record) { e.dictVal(*at(r)) },
+		dec: func(d *colDecoder, r *slurm.Record) error {
+			idx, err := d.dictIdx()
+			if err != nil {
+				return err
+			}
+			*at(r) = d.dict[idx]
+			return nil
+		}}
+}
+
+// stateCount bounds the State ordinal check on decode.
+var stateCount = len(slurm.States())
+
+func stateCol() colDef {
+	return colDef{name: "State", kind: kindState,
+		enc: func(e *colEncoder, r *slurm.Record) { e.uVal(uint64(r.State)) },
+		dec: func(d *colDecoder, r *slurm.Record) error {
+			u, err := d.r.uvarint()
+			if err != nil {
+				return err
+			}
+			if u >= uint64(stateCount) {
+				return fmt.Errorf("%w: state ordinal %d of %d", ErrCorrupt, u, stateCount)
+			}
+			r.State = slurm.State(u)
+			return nil
+		}}
+}
+
+func jobIDCol() colDef {
+	return colDef{name: "JobID", kind: kindJobID,
+		enc: func(e *colEncoder, r *slurm.Record) {
+			e.intVal(r.ID.Job)
+			e.intVal(r.ID.Array)
+			e.uVal(uint64(r.ID.Kind))
+			e.intVal(r.ID.Step)
+		},
+		dec: func(d *colDecoder, r *slurm.Record) error {
+			job, err := d.r.varint()
+			if err != nil {
+				return err
+			}
+			arr, err := d.r.varint()
+			if err != nil {
+				return err
+			}
+			kind, err := d.r.uvarint()
+			if err != nil {
+				return err
+			}
+			if kind > uint64(slurm.StepNumbered) {
+				return fmt.Errorf("%w: job-id step kind %d", ErrCorrupt, kind)
+			}
+			step, err := d.r.varint()
+			if err != nil {
+				return err
+			}
+			r.ID = slurm.JobID{Job: job, Array: arr, Kind: slurm.StepKind(kind), Step: step}
+			return nil
+		}}
+}
+
+func exitCol() colDef {
+	return colDef{name: "ExitCode", kind: kindExit,
+		enc: func(e *colEncoder, r *slurm.Record) {
+			e.intVal(int64(r.ExitCode))
+			e.intVal(int64(r.ExitSignal))
+		},
+		dec: func(d *colDecoder, r *slurm.Record) error {
+			code, err := d.r.varint()
+			if err != nil {
+				return err
+			}
+			sig, err := d.r.varint()
+			if err != nil {
+				return err
+			}
+			r.ExitCode, r.ExitSignal = int(code), int(sig)
+			return nil
+		}}
+}
+
+func memCol() colDef {
+	return colDef{name: "ReqMem", kind: kindMem,
+		enc: func(e *colEncoder, r *slurm.Record) {
+			e.intVal(r.ReqMem)
+			per := uint64(0)
+			if r.ReqMemPerCPU {
+				per = 1
+			}
+			e.uVal(per)
+		},
+		dec: func(d *colDecoder, r *slurm.Record) error {
+			v, err := d.r.varint()
+			if err != nil {
+				return err
+			}
+			per, err := d.r.uvarint()
+			if err != nil {
+				return err
+			}
+			r.ReqMem, r.ReqMemPerCPU = v, per&1 != 0
+			return nil
+		}}
+}
+
+// flagsCol dictionary-encodes the joined Flags rendering and splits
+// each dictionary entry once per decode. Cached slices are clipped so a
+// consumer append reallocates instead of scribbling on shared backing.
+func flagsCol() colDef {
+	fld, _ := slurm.FieldByName("Flags")
+	return colDef{name: "Flags", kind: kindDict,
+		enc: func(e *colEncoder, r *slurm.Record) { e.dictVal(fld.Get(r)) },
+		dec: func(d *colDecoder, r *slurm.Record) error {
+			idx, err := d.dictIdx()
+			if err != nil {
+				return err
+			}
+			if d.flagsCache == nil {
+				d.flagsCache = make([][]string, len(d.dict))
+				d.flagsDone = make([]bool, len(d.dict))
+			}
+			if !d.flagsDone[idx] {
+				var tmp slurm.Record
+				if err := fld.Set(&tmp, d.dict[idx]); err != nil {
+					return fmt.Errorf("%w: flags %q: %v", ErrCorrupt, d.dict[idx], err)
+				}
+				fl := tmp.Flags
+				if fl != nil {
+					fl = fl[:len(fl):len(fl)]
+				}
+				d.flagsCache[idx], d.flagsDone[idx] = fl, true
+			}
+			r.Flags = d.flagsCache[idx]
+			return nil
+		}}
+}
+
+// tresCol encodes TRES maps natively (key dictionary + int64 values)
+// rather than through the text rendering, which rounds byte quantities
+// to two decimals and would lose precision on round trip.
+func tresCol(name string, at func(*slurm.Record) *slurm.TRES) colDef {
+	return colDef{name: name, kind: kindTRES,
+		enc: func(e *colEncoder, r *slurm.Record) { e.tresVal(*at(r)) },
+		dec: func(d *colDecoder, r *slurm.Record) error {
+			m, err := d.tresVal()
+			if err != nil {
+				return err
+			}
+			*at(r) = m
+			return nil
+		}}
+}
+
+// columns is the pinned column order: the catalogue order of fields.go
+// minus the derived Backfill entry.
+var columns = buildColumns()
+
+// columnIndex maps lower-cased column names to their definition.
+var columnIndex = func() map[string]*colDef {
+	idx := make(map[string]*colDef, len(columns))
+	for i := range columns {
+		idx[strings.ToLower(columns[i].name)] = &columns[i]
+	}
+	return idx
+}()
+
+func buildColumns() []colDef {
+	return []colDef{
+		// Job identification.
+		jobIDCol(),
+		dictCol("JobName", func(r *slurm.Record) *string { return &r.JobName }),
+		dictCol("User", func(r *slurm.Record) *string { return &r.User }),
+		intCol("UID", func(r *slurm.Record) *int64 { return &r.UID }),
+		dictCol("Group", func(r *slurm.Record) *string { return &r.Group }),
+		dictCol("Account", func(r *slurm.Record) *string { return &r.Account }),
+		dictCol("Cluster", func(r *slurm.Record) *string { return &r.Cluster }),
+		dictCol("Partition", func(r *slurm.Record) *string { return &r.Partition }),
+		dictCol("Reservation", func(r *slurm.Record) *string { return &r.Reservation }),
+		intCol("ReservationID", func(r *slurm.Record) *int64 { return &r.ReservationID }),
+		// Timing.
+		timeCol("Submit", func(r *slurm.Record) *time.Time { return &r.Submit }),
+		timeCol("Start", func(r *slurm.Record) *time.Time { return &r.Start }),
+		timeCol("End", func(r *slurm.Record) *time.Time { return &r.End }),
+		durCol("Elapsed", func(r *slurm.Record) *time.Duration { return &r.Elapsed }),
+		durCol("Timelimit", func(r *slurm.Record) *time.Duration { return &r.Timelimit }),
+		// Resource requests.
+		intCol("NNodes", func(r *slurm.Record) *int64 { return &r.NNodes }),
+		intCol("NCPUS", func(r *slurm.Record) *int64 { return &r.NCPUs }),
+		intCol("NTasks", func(r *slurm.Record) *int64 { return &r.NTasks }),
+		intCol("ReqNodes", func(r *slurm.Record) *int64 { return &r.ReqNodes }),
+		intCol("ReqCPUS", func(r *slurm.Record) *int64 { return &r.ReqCPUs }),
+		memCol(),
+		dictCol("ReqGRES", func(r *slurm.Record) *string { return &r.ReqGRES }),
+		dictCol("Licenses", func(r *slurm.Record) *string { return &r.Licenses }),
+		dictCol("Layout", func(r *slurm.Record) *string { return &r.Layout }),
+		// Resource usage.
+		intCol("VMSize", func(r *slurm.Record) *int64 { return &r.VMSize }),
+		intCol("MaxVMSize", func(r *slurm.Record) *int64 { return &r.MaxVMSize }),
+		durCol("AveCPU", func(r *slurm.Record) *time.Duration { return &r.AveCPU }),
+		intCol("MaxRSS", func(r *slurm.Record) *int64 { return &r.MaxRSS }),
+		intCol("AveRSS", func(r *slurm.Record) *int64 { return &r.AveRSS }),
+		intCol("AvePages", func(r *slurm.Record) *int64 { return &r.AvePages }),
+		durCol("TotalCPU", func(r *slurm.Record) *time.Duration { return &r.TotalCPU }),
+		durCol("UserCPU", func(r *slurm.Record) *time.Duration { return &r.UserCPU }),
+		durCol("SystemCPU", func(r *slurm.Record) *time.Duration { return &r.SystemCPU }),
+		dictCol("NodeList", func(r *slurm.Record) *string { return &r.NodeList }),
+		intCol("ConsumedEnergy", func(r *slurm.Record) *int64 { return &r.ConsumedEnergy }),
+		// IO.
+		dictCol("WorkDir", func(r *slurm.Record) *string { return &r.WorkDir }),
+		intCol("AveDiskRead", func(r *slurm.Record) *int64 { return &r.AveDiskRead }),
+		intCol("AveDiskWrite", func(r *slurm.Record) *int64 { return &r.AveDiskWrite }),
+		intCol("MaxDiskRead", func(r *slurm.Record) *int64 { return &r.MaxDiskRead }),
+		intCol("MaxDiskWrite", func(r *slurm.Record) *int64 { return &r.MaxDiskWrite }),
+		// Job state.
+		stateCol(),
+		exitCol(),
+		dictCol("DerivedExitCode", func(r *slurm.Record) *string { return &r.DerivedExitCode }),
+		dictCol("Reason", func(r *slurm.Record) *string { return &r.Reason }),
+		durCol("Suspended", func(r *slurm.Record) *time.Duration { return &r.Suspended }),
+		intCol("Restarts", func(r *slurm.Record) *int64 { return &r.Restarts }),
+		dictCol("Constraints", func(r *slurm.Record) *string { return &r.Constraints }),
+		// Scheduling metadata.
+		intCol("Priority", func(r *slurm.Record) *int64 { return &r.Priority }),
+		timeCol("Eligible", func(r *slurm.Record) *time.Time { return &r.Eligible }),
+		dictCol("QOS", func(r *slurm.Record) *string { return &r.QOS }),
+		dictCol("QOSReq", func(r *slurm.Record) *string { return &r.QOSReq }),
+		flagsCol(),
+		tresCol("TRESUsageInAve", func(r *slurm.Record) *slurm.TRES { return &r.TRESUsageInAve }),
+		tresCol("ReqTRES", func(r *slurm.Record) *slurm.TRES { return &r.TRESReq }),
+		// Special indicators.
+		dictCol("Dependency", func(r *slurm.Record) *string { return &r.Dependency }),
+		intCol("ArrayJobID", func(r *slurm.Record) *int64 { return &r.ArrayJobID }),
+		// Misc.
+		dictCol("Comment", func(r *slurm.Record) *string { return &r.Comment }),
+		dictCol("SystemComment", func(r *slurm.Record) *string { return &r.SystemComment }),
+		dictCol("AdminComment", func(r *slurm.Record) *string { return &r.AdminComment }),
+	}
+}
+
+// ColumnNames returns the canonical column names in pinned order.
+func ColumnNames() []string {
+	out := make([]string, len(columns))
+	for i := range columns {
+		out[i] = columns[i].name
+	}
+	return out
+}
+
+// ColumnsFor maps a slurm field selection to the columns that back it:
+// each field's own column, with the derived Backfill field reading
+// through Flags. Unknown fields are an error. The result is deduplicated
+// and in pinned column order.
+func ColumnsFor(fields []string) ([]string, error) {
+	want := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		name := strings.ToLower(strings.TrimSpace(f))
+		if name == "backfill" {
+			name = "flags"
+		}
+		if _, ok := columnIndex[name]; !ok {
+			return nil, fmt.Errorf("colstore: no column backs field %q", f)
+		}
+		want[name] = true
+	}
+	out := make([]string, 0, len(want))
+	for i := range columns {
+		if want[strings.ToLower(columns[i].name)] {
+			out = append(out, columns[i].name)
+		}
+	}
+	return out, nil
+}

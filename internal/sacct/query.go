@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"slurmsight/internal/sacct/colstore"
 	"slurmsight/internal/slurm"
 )
 
@@ -123,9 +124,20 @@ func (s *Store) window(shard []slurm.Record, sorted bool, q *Query) (lo, hi int)
 // Scan streams matching records in emission order without copying them:
 // yielded pointers alias store-owned shard storage, so consumers that
 // retain a record must copy it and must not mutate through the pointer.
-// An invalid query yields a single terminal error. Do not interleave
-// with Add/Ingest.
+// On a binary-backed store a full Scan materialises each touched shard
+// once and caches it. An invalid query yields a single terminal error
+// (including a decode error from a corrupt binary shard). Do not
+// interleave with Add/Ingest.
 func (s *Store) Scan(q Query) slurm.RecordSeq {
+	return s.scan(q, nil)
+}
+
+// scan is Scan with an optional column projection: when proj is
+// non-nil, lazy binary shards decode only those columns (transiently,
+// uncached) instead of materialising. Projected records have every
+// unprojected field zero, so proj must cover the query's filter fields —
+// projection for a Write field selection is computed by Query.columns.
+func (s *Store) scan(q Query, proj []string) slurm.RecordSeq {
 	return func(yield func(*slurm.Record, error) bool) {
 		_, st, filterState, err := q.validate()
 		if err != nil {
@@ -133,10 +145,11 @@ func (s *Store) Scan(q Query) slurm.RecordSeq {
 			return
 		}
 		for _, m := range s.monthsIn(&q) {
-			s.mu.RLock()
-			shard := s.shards[m]
-			sorted := s.sorted[m]
-			s.mu.RUnlock()
+			shard, sorted, err := s.shardView(m, proj)
+			if err != nil {
+				yield(nil, err)
+				return
+			}
 			lo, hi := s.window(shard, sorted, &q)
 			for i := lo; i < hi; i++ {
 				if !q.matches(&shard[i], st, filterState) {
@@ -163,18 +176,58 @@ func (s *Store) Select(q Query) ([]slurm.Record, error) {
 	return out, nil
 }
 
+// columns maps the resolved field selection plus every field the query
+// filters or windows on to the colstore columns a projected scan must
+// decode. A nil result means "no useful projection" (full selection).
+func (q *Query) columns(fields []string) []string {
+	if len(q.Fields) == 0 {
+		return nil // full curated selection — every column is needed
+	}
+	need := make([]string, 0, len(fields)+6)
+	need = append(need, fields...)
+	if !q.IncludeSteps {
+		need = append(need, "JobID") // step detection
+	}
+	if !q.Start.IsZero() || !q.End.IsZero() {
+		need = append(need, "Submit") // window checks + binary search
+	}
+	if q.User != "" {
+		need = append(need, "User")
+	}
+	if q.Account != "" {
+		need = append(need, "Account")
+	}
+	if q.Partition != "" {
+		need = append(need, "Partition")
+	}
+	if q.State != "" {
+		need = append(need, "State")
+	}
+	cols, err := colstore.ColumnsFor(need)
+	if err != nil {
+		return nil // unknown field: let validate report it on the scan
+	}
+	return cols
+}
+
 // Write emits matching rows as pipe-separated text with a header, the
-// format the workflow's "Obtain data" stage stores on disk.
+// format the workflow's "Obtain data" stage stores on disk. On a
+// binary-backed store with an explicit field selection, only the
+// selected (plus filtered) columns are decoded.
 func (s *Store) Write(w io.Writer, q Query) (int, error) {
 	fields, _, _, err := q.validate()
 	if err != nil {
 		return 0, err
 	}
+	var proj []string
+	if s.hasLazy() {
+		proj = q.columns(fields)
+	}
 	var sb strings.Builder
 	sb.WriteString(slurm.Header(fields))
 	sb.WriteByte('\n')
 	n := 0
-	for r, err := range s.Scan(q) {
+	for r, err := range s.scan(q, proj) {
 		if err != nil {
 			return n, err
 		}

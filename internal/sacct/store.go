@@ -4,6 +4,12 @@
 // reloads dumps, and implements the workflow's "Obtain data" stage —
 // month-sharded concurrent retrieval with a cache directory, replacing the
 // paper's sacct + GNU Parallel combination.
+//
+// Stores persist in two formats: the pipe-separated text dump
+// (Dump/Load, the sacct-compatible interchange form) and the binary
+// columnar shard store (DumpBinary/OpenBinary, see the colstore
+// subpackage) whose reload is O(open + footer) and whose scans read only
+// the columns a query projects.
 package sacct
 
 import (
@@ -11,11 +17,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"time"
 
+	"slurmsight/internal/sacct/colstore"
 	"slurmsight/internal/sched"
 	"slurmsight/internal/slurm"
 )
@@ -44,11 +51,14 @@ func (m Month) Next() Month {
 }
 
 // Before orders months chronologically.
-func (m Month) Before(o Month) bool {
+func (m Month) Before(o Month) bool { return m.Compare(o) < 0 }
+
+// Compare orders months chronologically for the slices sort helpers.
+func (m Month) Compare(o Month) int {
 	if m.Year != o.Year {
-		return m.Year < o.Year
+		return m.Year - o.Year
 	}
-	return m.Mon < o.Mon
+	return int(m.Mon) - int(o.Mon)
 }
 
 // ParseMonth parses "2024-03".
@@ -63,35 +73,60 @@ func ParseMonth(s string) (Month, error) {
 // Store is an in-memory accounting database sharded by submission month.
 // It is safe for concurrent queries after ingestion is complete; Ingest
 // and Add take an internal lock so loads may also be concurrent.
+//
+// A store opened with OpenBinary starts lazy: each month shard stays on
+// disk as columns until the first full scan touches it (at which point
+// it materialises once and is cached), and projected queries through
+// Write decode only the columns the field selection needs.
 type Store struct {
 	mu     sync.RWMutex
 	shards map[Month][]slurm.Record
 	sorted map[Month]bool // shard known to be in recordLess order
+
+	lazy map[Month]*colstore.Shard // binary shards not yet materialised
+	bin  *colstore.File            // backing columnar file; nil for text stores
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{shards: map[Month][]slurm.Record{}, sorted: map[Month]bool{}}
+	return &Store{
+		shards: map[Month][]slurm.Record{},
+		sorted: map[Month]bool{},
+		lazy:   map[Month]*colstore.Shard{},
+	}
 }
 
-// recordLess is the shard emission order: submission time, ties broken
+// recordCmp is the shard emission order: submission time, ties broken
 // by sacct job-id order (steps after their job). Because the simulator
 // assigns job ids in submission order, this coincides with plain job-id
 // order for simulated traces while letting queries binary-search the
 // submit window.
-func recordLess(a, b *slurm.Record) bool {
+func recordCmp(a, b slurm.Record) int {
 	if !a.Submit.Equal(b.Submit) {
-		return a.Submit.Before(b.Submit)
+		if a.Submit.Before(b.Submit) {
+			return -1
+		}
+		return 1
 	}
-	return slurm.CompareJobID(a.ID, b.ID) < 0
+	return slurm.CompareJobID(a.ID, b.ID)
 }
 
-// Add inserts records, sharding by submission month.
+// recordLess is recordCmp as a less-predicate, for binary searches.
+func recordLess(a, b *slurm.Record) bool { return recordCmp(*a, *b) < 0 }
+
+// Add inserts records, sharding by submission month. Adding into a
+// month still lazy on disk materialises that shard first so the new
+// records land behind the stored ones.
 func (s *Store) Add(records ...slurm.Record) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, r := range records {
 		m := MonthOf(r.Submit)
+		if _, ok := s.lazy[m]; ok {
+			// Best effort: a corrupt lazy shard surfaces on the next
+			// scan; the added records must not be dropped either way.
+			_ = s.materializeLocked(m)
+		}
 		s.shards[m] = append(s.shards[m], r)
 		delete(s.sorted, m)
 	}
@@ -103,10 +138,11 @@ func (s *Store) Ingest(res *sched.Result) {
 	s.Add(res.Steps...)
 }
 
-// Finalize puts every shard in emission order (recordLess). Call once
-// after ingestion. Shards whose records already arrived in order — the
-// common case when reloading a Dump — are detected with a linear
-// is-sorted check and skipped instead of re-sorted.
+// Finalize puts every materialised shard in emission order (recordCmp).
+// Call once after ingestion. Shards whose records already arrived in
+// order — the common case when reloading a Dump — are detected with a
+// linear is-sorted check and skipped instead of re-sorted. Lazy binary
+// shards are left on disk; they sort (if needed) when materialised.
 func (s *Store) Finalize() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -115,27 +151,33 @@ func (s *Store) Finalize() {
 			continue
 		}
 		shard := s.shards[m]
-		less := func(i, j int) bool { return recordLess(&shard[i], &shard[j]) }
-		if !sort.SliceIsSorted(shard, less) {
-			sort.SliceStable(shard, less)
+		if !slices.IsSortedFunc(shard, recordCmp) {
+			slices.SortStableFunc(shard, recordCmp)
 		}
 		s.sorted[m] = true
 	}
 }
 
-// Months returns the populated shards in chronological order.
+// Months returns the populated shards in chronological order, lazy
+// binary shards included.
 func (s *Store) Months() []Month {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]Month, 0, len(s.shards))
+	out := make([]Month, 0, len(s.shards)+len(s.lazy))
 	for m := range s.shards {
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	for m := range s.lazy {
+		if _, ok := s.shards[m]; !ok {
+			out = append(out, m)
+		}
+	}
+	slices.SortFunc(out, Month.Compare)
 	return out
 }
 
-// Len returns the total record count.
+// Len returns the total record count, counting lazy shards from their
+// footers without decoding them.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -143,21 +185,49 @@ func (s *Store) Len() int {
 	for _, shard := range s.shards {
 		n += len(shard)
 	}
+	for m, sh := range s.lazy {
+		if _, ok := s.shards[m]; !ok {
+			n += sh.Rows()
+		}
+	}
 	return n
+}
+
+// snapshot materialises any lazy shards, then returns every populated
+// month with its record slice under a single read lock — so a
+// concurrent Add cannot interleave between shards mid-iteration. The
+// returned slices alias store storage; callers must not mutate them.
+func (s *Store) snapshot() ([]Month, [][]slurm.Record, error) {
+	if err := s.materializeAll(); err != nil {
+		return nil, nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	months := make([]Month, 0, len(s.shards))
+	for m := range s.shards {
+		months = append(months, m)
+	}
+	slices.SortFunc(months, Month.Compare)
+	shards := make([][]slurm.Record, len(months))
+	for i, m := range months {
+		shards[i] = s.shards[m]
+	}
+	return months, shards, nil
 }
 
 // Dump writes the full store as pipe-separated text with the complete
 // curated field selection, suitable for Load.
 func (s *Store) Dump(w io.Writer) error {
 	fields := slurm.SelectedNames()
+	_, shards, err := s.snapshot()
+	if err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, slurm.Header(fields)); err != nil {
 		return err
 	}
-	for _, m := range s.Months() {
-		s.mu.RLock()
-		shard := s.shards[m]
-		s.mu.RUnlock()
+	for _, shard := range shards {
 		for i := range shard {
 			line, err := slurm.EncodeRecord(&shard[i], fields)
 			if err != nil {
@@ -184,16 +254,66 @@ func (s *Store) DumpFile(path string) error {
 	return f.Close()
 }
 
-// Load reads a Dump back into a store. Malformed lines are returned in
-// count; the paper's curation stage discards them downstream, so the store
-// keeps only clean rows.
+// maxLoadLine bounds one dump row. A row past it fails the load with a
+// line-numbered error rather than an opaque scanner failure.
+const maxLoadLine = 8 << 20
+
+// loadLineReader reads dump lines through a bufio.Reader with a
+// growable spill, so rows longer than the read buffer still decode and
+// rows past maxLoadLine fail with their line number.
+type loadLineReader struct {
+	r    *bufio.Reader
+	long []byte
+	line int // 1-based number of the line most recently returned
+}
+
+// next returns the next line with its "\n" (and any "\r" before it)
+// stripped. io.EOF marks clean end of input.
+func (lr *loadLineReader) next() ([]byte, error) {
+	line, err := lr.r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		lr.long = append(lr.long[:0], line...)
+		for err == bufio.ErrBufferFull {
+			if len(lr.long) > maxLoadLine {
+				return nil, fmt.Errorf("sacct: line %d: row exceeds %d bytes", lr.line+1, maxLoadLine)
+			}
+			line, err = lr.r.ReadSlice('\n')
+			lr.long = append(lr.long, line...)
+		}
+		line = lr.long
+	}
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, io.EOF
+	}
+	lr.line++
+	if n := len(line); line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if len(line) > maxLoadLine {
+		return nil, fmt.Errorf("sacct: line %d: row exceeds %d bytes", lr.line, maxLoadLine)
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// Load reads a text Dump back into a store. Malformed lines are returned
+// in count; the paper's curation stage discards them downstream, so the
+// store keeps only clean rows.
 func Load(r io.Reader) (*Store, int, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() {
+	lr := &loadLineReader{r: bufio.NewReaderSize(r, 1<<16)}
+	header, err := lr.next()
+	if err == io.EOF {
 		return nil, 0, fmt.Errorf("sacct: empty dump")
 	}
-	fields := strings.Split(strings.TrimSpace(sc.Text()), slurm.Separator)
+	if err != nil {
+		return nil, 0, err
+	}
+	fields := strings.Split(strings.TrimSpace(string(header)), slurm.Separator)
 	for _, f := range fields {
 		if _, ok := slurm.FieldByName(f); !ok {
 			return nil, 0, fmt.Errorf("sacct: dump header has unknown field %q", f)
@@ -201,8 +321,15 @@ func Load(r io.Reader) (*Store, int, error) {
 	}
 	st := NewStore()
 	malformed := 0
-	for sc.Scan() {
-		line := sc.Text()
+	for {
+		raw, err := lr.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, malformed, err
+		}
+		line := string(raw)
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
@@ -213,14 +340,11 @@ func Load(r io.Reader) (*Store, int, error) {
 		}
 		st.Add(*rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, malformed, err
-	}
 	st.Finalize()
 	return st, malformed, nil
 }
 
-// LoadFile reads a dump file.
+// LoadFile reads a text dump file.
 func LoadFile(path string) (*Store, int, error) {
 	f, err := os.Open(path)
 	if err != nil {

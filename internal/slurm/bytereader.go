@@ -34,7 +34,7 @@ type ByteRecordReader struct {
 	line   int      // lines consumed so far (base included)
 	long   []byte   // spill for lines longer than the read buffer
 
-	interned   map[string]string   // cell bytes → immutable string, for Set-path fields
+	interned   *Interner           // cell bytes → immutable string, for Set-path fields
 	flagsCache map[string][]string // raw Flags cell → pre-split, capacity-clipped slice
 }
 
@@ -70,7 +70,7 @@ func newByteRecordReader(r *bufio.Reader, fields []*Field, names []string, lineB
 		names:      names,
 		cols:       make([][]byte, 0, len(fields)),
 		line:       lineBase,
-		interned:   make(map[string]string),
+		interned:   NewInterner(),
 		flagsCache: make(map[string][]string),
 	}
 }
@@ -175,19 +175,7 @@ func (br *ByteRecordReader) setField(f *Field, col []byte) error {
 
 // intern returns a string with b's bytes, allocating only on the first
 // sighting of a value (while the cache has room).
-func (br *ByteRecordReader) intern(b []byte) string {
-	if len(b) == 0 {
-		return ""
-	}
-	if s, ok := br.interned[string(b)]; ok { // no alloc: map lookup on []byte key
-		return s
-	}
-	s := string(b)
-	if len(br.interned) < internCap {
-		br.interned[s] = s
-	}
-	return s
-}
+func (br *ByteRecordReader) intern(b []byte) string { return br.interned.Intern(b) }
 
 // flagsFor returns the parsed flag list for a raw Flags cell, splitting
 // each distinct cell value once per reader. Cached slices are clipped to
