@@ -83,7 +83,9 @@ func simulateFixture(profile tracegen.Profile, sys *cluster.System,
 		panic(err)
 	}
 	st := sacct.NewStore()
-	st.Ingest(res)
+	if err := st.Ingest(res); err != nil {
+		panic(err)
+	}
 	st.Finalize()
 	f := &fixture{jobs: res.Jobs, store: st, stats: res.Stats}
 	f.records = append(f.records, res.Jobs...)

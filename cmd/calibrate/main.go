@@ -90,7 +90,9 @@ func main() {
 		log.Fatal(err)
 	}
 	double := sacct.NewStore()
-	double.Ingest(res)
+	if err := double.Ingest(res); err != nil {
+		log.Fatal(err)
+	}
 	double.Finalize()
 	if err := double.DumpFile(*regen); err != nil {
 		log.Fatal(err)

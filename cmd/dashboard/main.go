@@ -7,12 +7,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
 	"time"
 
 	"slurmsight/internal/dashboard"
+	"slurmsight/internal/serve"
 )
 
 func main() {
@@ -20,8 +22,9 @@ func main() {
 	log.SetPrefix("dashboard: ")
 
 	var (
-		dir  = flag.String("dir", "out", "workflow output directory to serve")
-		addr = flag.String("addr", ":8080", "listen address")
+		dir   = flag.String("dir", "out", "workflow output directory to serve")
+		addr  = flag.String("addr", ":8080", "listen address")
+		grace = flag.Duration("grace", 5*time.Second, "shutdown drain budget for in-flight requests")
 	)
 	flag.Parse()
 
@@ -35,5 +38,7 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Fatal(httpServer.ListenAndServe())
+	if err := serve.ListenAndDrain(context.Background(), httpServer, *grace, log.Printf); err != nil {
+		log.Fatal(err)
+	}
 }

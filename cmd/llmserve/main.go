@@ -20,18 +20,15 @@ package main
 
 import (
 	"context"
-	"errors"
 	"expvar"
 	"flag"
 	"log"
 	"net/http"
 	"net/http/pprof"
-	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"slurmsight/internal/obs"
+	"slurmsight/internal/serve"
 )
 
 func main() {
@@ -77,7 +74,7 @@ func main() {
 	metrics := obs.NewRegistry()
 	metrics.PublishExpvar("llmserve")
 	mux := http.NewServeMux()
-	mux.Handle("/", instrument(metrics, handler))
+	mux.Handle("/", serve.Instrument(metrics, "llmserve", handler))
 	mux.Handle("/metrics", metrics.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -92,31 +89,9 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	errCh := make(chan error, 1)
-	go func() {
-		log.Printf("serving the %s analyst on %s (metrics: /metrics, profiles: /debug/pprof/)",
-			server.ModelName, *addr)
-		errCh <- httpServer.ListenAndServe()
-	}()
-
-	select {
-	case err := <-errCh:
-		// Bind failure or another listener error before any signal.
+	log.Printf("serving the %s analyst on %s (metrics: /metrics, profiles: /debug/pprof/)",
+		server.ModelName, *addr)
+	if err := serve.ListenAndDrain(context.Background(), httpServer, *grace, log.Printf); err != nil {
 		log.Fatal(err)
-	case <-ctx.Done():
-		stop() // restore default handling: a second signal kills hard
-		log.Printf("shutting down (draining in-flight requests, %s budget)", *grace)
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
-		defer cancel()
-		if err := httpServer.Shutdown(shutdownCtx); err != nil {
-			log.Fatalf("shutdown: %v", err)
-		}
-		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
-		}
-		log.Printf("bye")
 	}
 }

@@ -1,11 +1,9 @@
 package main
 
 import (
-	"net/http"
 	"time"
 
 	"slurmsight/internal/llm"
-	"slurmsight/internal/obs"
 )
 
 // serverConfig collects the flag values behind the endpoint.
@@ -37,45 +35,4 @@ func newServer(cfg serverConfig) (*llm.Server, *llm.FaultPolicy) {
 		Seed:       cfg.faultSeed,
 	}
 	return server, faults
-}
-
-// statusWriter captures the response status for the request metrics.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// instrument wraps the API handler with request accounting: total and
-// per-class (2xx/4xx/5xx) counters, a latency histogram, and an
-// in-flight gauge. It sits outside the fault middleware so injected
-// failures are counted exactly as clients observe them.
-func instrument(m *obs.Registry, next http.Handler) http.Handler {
-	requests := m.Counter("llmserve_requests_total")
-	class2xx := m.Counter("llmserve_responses_2xx_total")
-	class4xx := m.Counter("llmserve_responses_4xx_total")
-	class5xx := m.Counter("llmserve_responses_5xx_total")
-	latency := m.Histogram("llmserve_request_seconds", obs.LatencyBuckets)
-	inflight := m.Gauge("llmserve_inflight_requests")
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		requests.Inc()
-		inflight.Add(1)
-		t0 := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(sw, r)
-		latency.ObserveSince(t0)
-		inflight.Add(-1)
-		switch {
-		case sw.status >= 500:
-			class5xx.Inc()
-		case sw.status >= 400:
-			class4xx.Inc()
-		default:
-			class2xx.Inc()
-		}
-	})
 }

@@ -1,0 +1,456 @@
+// Command queryload drives a live-appending queryd with thousands of
+// concurrent clients and reports tail latency, cache effectiveness, and
+// the generation proof (a read after an acknowledged append observes
+// the appended rows).
+//
+// By default it self-hosts: it opens the trace, mounts the serve
+// handler on a loopback listener, and hammers it over real HTTP — one
+// process, no setup. Point -url at an external queryd to load that
+// instead.
+//
+// Example:
+//
+//	queryload -trace traces/frontier.colstore -clients 1000 -duration 15s \
+//	  -json BENCH_serve.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slurmsight/internal/obs"
+	"slurmsight/internal/sacct"
+	"slurmsight/internal/serve"
+	"slurmsight/internal/slurm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("queryload: ")
+
+	var (
+		trace    = flag.String("trace", "", "trace to self-host (ignored with -url)")
+		url      = flag.String("url", "", "external queryd base URL (empty self-hosts -trace)")
+		clients  = flag.Int("clients", 1000, "concurrent query clients")
+		duration = flag.Duration("duration", 10*time.Second, "load duration")
+		limit    = flag.Int("limit", 200, "row cap per query")
+		figures  = flag.Bool("figures", false, "mix figure requests into the load")
+
+		appendEvery = flag.Duration("append-every", time.Second, "live-append cadence (0 disables)")
+		appendRows  = flag.Int("append-rows", 200, "rows per live append")
+
+		rate   = flag.Float64("rate", 0, "self-hosted per-client throttle (0 disables)")
+		cacheN = flag.Int("cache", 1024, "self-hosted response cache entries")
+		out    = flag.String("json", "BENCH_serve.json", "result path (empty prints to stdout)")
+	)
+	flag.Parse()
+
+	base := *url
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if base == "" {
+		if *trace == "" {
+			log.Fatal("need -trace (to self-host) or -url (external queryd)")
+		}
+		st, _, err := sacct.OpenFile(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		// Warm so the measurement exercises serving, not first-touch
+		// shard decodes: an always-on queryd pays this once at boot.
+		tWarm := time.Now()
+		if err := st.Warm(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("warmed %d rows in %s", st.Len(), time.Since(tWarm).Round(time.Millisecond))
+		srv, err := serve.New(serve.Config{
+			Store:        st,
+			System:       "bench",
+			Metrics:      obs.NewRegistry(),
+			RatePerSec:   *rate,
+			CacheEntries: *cacheN,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		httpServer := &http.Server{Handler: srv.Handler()}
+		go serve.Drain(ctx, httpServer, ln, 5*time.Second, nil)
+		base = "http://" + ln.Addr().String()
+		log.Printf("self-hosting %s (%d rows) on %s", *trace, st.Len(), base)
+	}
+
+	transport := &http.Transport{
+		MaxIdleConns:        4 * *clients,
+		MaxIdleConnsPerHost: 4 * *clients,
+	}
+	client := &http.Client{Transport: transport, Timeout: 60 * time.Second}
+
+	health, err := fetchHealth(client, base)
+	if err != nil {
+		log.Fatalf("healthz: %v", err)
+	}
+	months := queryMonths(client, base)
+	log.Printf("target holds %.0f rows, generation %.0f; driving %d clients for %s",
+		health["rows"], health["generation"], *clients, *duration)
+
+	reg := obs.NewRegistry()
+	latHist := reg.Histogram("queryload_request_seconds", obs.LatencyBuckets)
+
+	var (
+		requests, errors429, errorsOther atomic.Int64
+		samplesMu                        sync.Mutex
+		samples                          []float64
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			local := make([]float64, 0, 1024)
+			for iter := 0; time.Now().Before(deadline); iter++ {
+				u := pickQuery(base, id, iter, months, *limit, *figures)
+				t0 := time.Now()
+				status, err := get(client, u, "c"+strconv.Itoa(id))
+				dt := time.Since(t0)
+				requests.Add(1)
+				latHist.Observe(dt.Seconds())
+				local = append(local, dt.Seconds()*1000)
+				switch {
+				case err != nil:
+					errorsOther.Add(1)
+				case status == http.StatusTooManyRequests:
+					errors429.Add(1)
+				case status != http.StatusOK:
+					errorsOther.Add(1)
+				}
+			}
+			samplesMu.Lock()
+			samples = append(samples, local...)
+			samplesMu.Unlock()
+		}(i)
+	}
+
+	// The appender makes the store live while the clients read: each
+	// batch lands in a synthetic future month, and after every
+	// acknowledged append a window query over that month must show
+	// all rows appended so far — the generation proof.
+	app := &appender{client: client, base: base, rows: *appendRows}
+	if *appendEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			app.run(deadline, *appendEvery)
+		}()
+	}
+	t0 := time.Now()
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	sort.Float64s(samples)
+	metricsText, _ := getBody(client, base+"/metrics")
+	cache := parseCache(metricsText)
+	result := map[string]any{
+		"target":     base,
+		"clients":    *clients,
+		"duration_s": round2(elapsed.Seconds()),
+		"requests":   requests.Load(),
+		"qps":        round2(float64(requests.Load()) / elapsed.Seconds()),
+		"throttled":  errors429.Load(),
+		"errors":     errorsOther.Load(),
+		"store": map[string]any{
+			"rows_start": health["rows"],
+			"months":     health["months"],
+		},
+		"latency_ms": map[string]any{
+			"p50": round2(percentile(samples, 50)),
+			"p90": round2(percentile(samples, 90)),
+			"p99": round2(percentile(samples, 99)),
+			"max": round2(percentile(samples, 100)),
+		},
+		"cache": cache,
+		"appends": map[string]any{
+			"batches":          app.batches.Load(),
+			"rows":             app.rowsSent.Load(),
+			"generation_start": app.genStart.Load(),
+			"generation_end":   app.genEnd.Load(),
+		},
+		"generation_proof": app.batches.Load() > 0 && app.proofFailures.Load() == 0,
+		"client_metrics":   reg.Snapshot(),
+	}
+	if app.proofFailures.Load() > 0 {
+		log.Printf("WARNING: %d generation-proof failures (appended rows not visible to a follow-up query)",
+			app.proofFailures.Load())
+	}
+	blob, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+	log.Printf("%d requests (%.0f/s), p50 %.1fms p99 %.1fms, cache hit rate %.2f, %d throttled, %d errors",
+		requests.Load(), float64(requests.Load())/elapsed.Seconds(),
+		percentile(samples, 50), percentile(samples, 99),
+		cache["hit_rate"].(float64), errors429.Load(), errorsOther.Load())
+	if n := errorsOther.Load(); n > 0 {
+		os.Exit(1)
+	}
+}
+
+// pickQuery spreads clients across a realistic mix: repeated canonical
+// queries (cache-friendly), month windows, windowed user filters, and
+// optionally figures. The distinct-key population is deliberately
+// bounded (tens of keys per generation) — the cache and single-flight
+// layer is what an always-on service lives or dies by.
+func pickQuery(base string, id, iter int, months []string, limit int, figures bool) string {
+	lim := strconv.Itoa(limit)
+	mix := (id + iter) % 16
+	win := ""
+	if len(months) > 0 {
+		win = "&start=" + months[(id+iter)%len(months)]
+	}
+	switch {
+	case figures && mix == 15:
+		keys := []string{"fig1-volume", "fig4-wait-times", "fig5-states-per-user"}
+		return base + "/figures/" + keys[(id+iter)%len(keys)] + ".json"
+	case mix < 8: // hot canonical queries
+		return base + "/query?fields=JobID,User,State&limit=" + lim
+	case mix < 12: // month windows
+		return base + "/query?fields=JobID,Submit,NNodes&limit=" + lim + win
+	default: // windowed user filter over the trace's real user pool
+		user := fmt.Sprintf("u%04d", (id+iter)%16)
+		return base + "/query?fields=JobID,User&user=" + user + "&limit=" + lim + win
+	}
+}
+
+// appender POSTs pipe-text batches into a synthetic future month and
+// verifies each acknowledged append is visible to a follow-up query.
+type appender struct {
+	client *http.Client
+	base   string
+	rows   int
+
+	batches, rowsSent, genStart, genEnd, proofFailures atomic.Int64
+	cursor                                             time.Time
+}
+
+func (a *appender) run(deadline time.Time, every time.Duration) {
+	// Far past any generated trace, so the proof window holds only
+	// appended rows.
+	a.cursor = time.Date(2031, 1, 1, 0, 0, 0, 0, time.UTC)
+	windowStart := a.cursor
+	fields := []string{"JobID", "User", "Account", "Partition", "Submit", "Start", "End", "Elapsed", "State", "NNodes", "NCPUs"}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for job := int64(9_000_000); time.Now().Before(deadline); {
+		var sb strings.Builder
+		sb.WriteString(slurm.Header(fields))
+		sb.WriteByte('\n')
+		for i := 0; i < a.rows; i++ {
+			r := slurm.Record{
+				ID:        slurm.NewJobID(job),
+				User:      "appender",
+				Account:   "bench",
+				Partition: "batch",
+				Submit:    a.cursor,
+				Start:     a.cursor.Add(time.Minute),
+				End:       a.cursor.Add(11 * time.Minute),
+				Elapsed:   10 * time.Minute,
+				State:     slurm.StateCompleted,
+				NNodes:    1,
+				NCPUs:     8,
+			}
+			job++
+			a.cursor = a.cursor.Add(time.Second)
+			line, err := slurm.EncodeRecord(&r, fields)
+			if err != nil {
+				log.Printf("append encode: %v", err)
+				return
+			}
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+		resp, err := a.client.Post(a.base+"/ingest", "text/plain", strings.NewReader(sb.String()))
+		if err != nil {
+			log.Printf("append: %v", err)
+			return
+		}
+		var ack struct {
+			Rows       int    `json:"rows"`
+			Generation uint64 `json:"generation"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&ack)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			log.Printf("append: status %d err %v", resp.StatusCode, err)
+			return
+		}
+		if a.genStart.Load() == 0 {
+			a.genStart.Store(int64(ack.Generation))
+		}
+		a.genEnd.Store(int64(ack.Generation))
+		a.batches.Add(1)
+		a.rowsSent.Add(int64(ack.Rows))
+
+		// Generation proof: the acknowledged rows must be visible now.
+		u := a.base + "/query?fields=JobID&steps=1&start=" + windowStart.Format("2006-01-02") +
+			"&limit=" + strconv.Itoa(int(a.rowsSent.Load())+1)
+		seen, gen := a.countRows(u)
+		if seen < a.rowsSent.Load() || gen < uint64(ack.Generation) {
+			a.proofFailures.Add(1)
+			log.Printf("generation proof FAILED: appended %d rows through generation %d, query at generation %d saw %d",
+				a.rowsSent.Load(), ack.Generation, gen, seen)
+		}
+		select {
+		case <-ticker.C:
+		default:
+			time.Sleep(every)
+		}
+	}
+}
+
+func (a *appender) countRows(u string) (int64, uint64) {
+	resp, err := a.client.Get(u)
+	if err != nil {
+		return -1, 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	rows, _ := strconv.ParseInt(resp.Header.Get("X-Rows"), 10, 64)
+	gen, _ := strconv.ParseUint(resp.Header.Get("X-Store-Generation"), 10, 64)
+	return rows, gen
+}
+
+func get(client *http.Client, u, apiKey string) (int, error) {
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("X-API-Key", apiKey)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, err
+}
+
+func getBody(client *http.Client, u string) (string, error) {
+	resp, err := client.Get(u)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func fetchHealth(client *http.Client, base string) (map[string]float64, error) {
+	body, err := getBody(client, base+"/healthz")
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]any
+	if err := json.Unmarshal([]byte(body), &raw); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out, nil
+}
+
+// queryMonths derives month window starts from a cheap one-row-per-month
+// probe: it reads the store's first and last submit through a full-range
+// query of Submit only, then enumerates months between. Failure just
+// means the month mix is skipped.
+func queryMonths(client *http.Client, base string) []string {
+	body, err := getBody(client, base+"/query?fields=Submit&limit=1")
+	if err != nil {
+		return nil
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) < 2 {
+		return nil
+	}
+	first, err := time.Parse("2006-01-02T15:04:05", strings.TrimSpace(lines[1]))
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for m, i := first, 0; i < 12; m, i = m.AddDate(0, 1, 0), i+1 {
+		out = append(out, m.Format("2006-01"))
+	}
+	return out
+}
+
+// parseCache pulls the serve_cache_* counters out of Prometheus text.
+func parseCache(metrics string) map[string]any {
+	vals := map[string]float64{}
+	for _, line := range strings.Split(metrics, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 2 && strings.HasPrefix(f[0], "serve_cache_") {
+			if v, err := strconv.ParseFloat(f[1], 64); err == nil {
+				vals[strings.TrimPrefix(f[0], "serve_cache_")] = v
+			}
+		}
+	}
+	total := vals["hits_total"] + vals["misses_total"] + vals["coalesced_total"]
+	rate := 0.0
+	if total > 0 {
+		rate = (vals["hits_total"] + vals["coalesced_total"]) / total
+	}
+	return map[string]any{
+		"hits":      vals["hits_total"],
+		"misses":    vals["misses_total"],
+		"coalesced": vals["coalesced_total"],
+		"evictions": vals["evictions_total"],
+		"hit_rate":  round2(rate),
+	}
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+func round2(f float64) float64 { return math.Round(f*100) / 100 }

@@ -31,6 +31,7 @@ import (
 	"slurmsight/internal/llm"
 	"slurmsight/internal/obs"
 	"slurmsight/internal/sacct"
+	srvpkg "slurmsight/internal/serve"
 )
 
 func main() {
@@ -181,7 +182,9 @@ func main() {
 			Handler:           mux,
 			ReadHeaderTimeout: 10 * time.Second,
 		}
-		log.Fatal(httpServer.ListenAndServe())
+		if err := srvpkg.ListenAndDrain(context.Background(), httpServer, 5*time.Second, log.Printf); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

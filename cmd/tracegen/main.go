@@ -120,7 +120,9 @@ func main() {
 		res.Stats.Backfilled, res.Stats.MeanWait().Round(time.Second))
 
 	store := sacct.NewStore()
-	store.Ingest(res)
+	if err := store.Ingest(res); err != nil {
+		log.Fatal(err)
+	}
 	store.Finalize()
 	switch *format {
 	case "text":

@@ -43,7 +43,9 @@ func runSystem(name string, sys *cluster.System, profile tracegen.Profile,
 		log.Fatal(err)
 	}
 	store := sacct.NewStore()
-	store.Ingest(res)
+	if err := store.Ingest(res); err != nil {
+		log.Fatal(err)
+	}
 	store.Finalize()
 
 	// The identical workflow configuration runs on both systems — the

@@ -40,7 +40,9 @@ func buildStore(profile tracegen.Profile, sys *cluster.System,
 		log.Fatal(err)
 	}
 	store := sacct.NewStore()
-	store.Ingest(res)
+	if err := store.Ingest(res); err != nil {
+		log.Fatal(err)
+	}
 	store.Finalize()
 	return store
 }

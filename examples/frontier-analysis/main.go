@@ -54,7 +54,9 @@ func main() {
 		res.Stats.MaxWait.Round(time.Minute))
 
 	store := sacct.NewStore()
-	store.Ingest(res)
+	if err := store.Ingest(res); err != nil {
+		log.Fatal(err)
+	}
 	store.Finalize()
 
 	// The AI subworkflow talks to an in-process analyst endpoint.

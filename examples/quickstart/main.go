@@ -51,7 +51,9 @@ func main() {
 
 	// 3. Ingest into the accounting store.
 	store := sacct.NewStore()
-	store.Ingest(res)
+	if err := store.Ingest(res); err != nil {
+		log.Fatal(err)
+	}
 	store.Finalize()
 
 	// 4. Run the analysis workflow.

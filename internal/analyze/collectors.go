@@ -18,6 +18,17 @@ type Collector interface {
 	Observe(r *slurm.Record)
 }
 
+// Collect drains a record stream into a fresh Bundle — the
+// figure-on-demand path: one scan produces every figure's aggregation.
+// bucket sets the timeline resolution (≤ 0 defaults to one hour).
+func Collect(seq slurm.RecordSeq, bucket time.Duration) (*Bundle, error) {
+	b := NewBundle(bucket)
+	if err := FanOut(seq, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
 // FanOut drains a record stream into every collector. Terminal stream
 // errors stop the pass and are returned; the collectors keep whatever
 // they saw before the failure.

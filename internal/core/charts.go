@@ -58,6 +58,12 @@ func VolumeChartCounted(system string, jobs []slurm.Record, stepsPerJob []int) *
 	return volumeChartOf(system, analyze.JobStepVolumeCounted(jobs, stepsPerJob))
 }
 
+// VolumeChartPoints builds Figure 1 from pre-collected per-year volumes
+// (the streaming pipeline's VolumeCollector output).
+func VolumeChartPoints(system string, vols []analyze.VolumeByYear) *plot.Chart {
+	return volumeChartOf(system, vols)
+}
+
 func volumeChartOf(system string, vols []analyze.VolumeByYear) *plot.Chart {
 	cats := make([]string, len(vols))
 	jobs := make([]float64, len(vols))
@@ -214,6 +220,35 @@ func BackfillChartPoints(system string, points []analyze.BackfillPoint) *plot.Ch
 
 // timelineBucket is the resolution of the operator timelines.
 const timelineBucket = 6 * time.Hour
+
+// TimelineBucket is the exported timeline resolution, so callers that
+// collect their own analyze.Bundle (the serving layer) aggregate at the
+// same granularity the workflow uses.
+const TimelineBucket = timelineBucket
+
+// ChartFromBundle builds the named figure (a FigureKeys or
+// ExtendedFigureKeys key) from a collected bundle. topUsers bounds the
+// Figure 5 user list; capacityNodes draws the load-timeline reference
+// line when positive. Unknown keys error.
+func ChartFromBundle(key, system string, b *analyze.Bundle, topUsers, capacityNodes int) (*plot.Chart, error) {
+	switch key {
+	case FigVolume:
+		return VolumeChartPoints(system, b.Volume.Result()), nil
+	case FigNodesElapsed:
+		return NodesElapsedChartPoints(system, b.Scale.Result()), nil
+	case FigWaitTimes:
+		return WaitChartPoints(system, b.Waits.Result()), nil
+	case FigStates:
+		return StatesChartUsers(system, b.Users.Result(topUsers)), nil
+	case FigBackfill:
+		return BackfillChartPoints(system, b.Backfill.Result()), nil
+	case ExtLoad:
+		return LoadTimelineChartPoints(system, b.Timeline.Result(), capacityNodes), nil
+	case ExtQueueDepth:
+		return QueueDepthChartPoints(system, b.Timeline.Result()), nil
+	}
+	return nil, fmt.Errorf("core: unknown figure %q", key)
+}
 
 // LoadTimelineChart builds the extended system-load view: mean busy nodes
 // per bucket with the capacity as a reference series.

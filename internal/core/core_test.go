@@ -56,7 +56,9 @@ func testStore(t *testing.T) *sacct.Store {
 		t.Fatal(err)
 	}
 	st := sacct.NewStore()
-	st.Ingest(res)
+	if err := st.Ingest(res); err != nil {
+		t.Fatal(err)
+	}
 	st.Finalize()
 	sharedStore = st
 	return st

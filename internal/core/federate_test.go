@@ -41,7 +41,9 @@ func testAndesStore(t *testing.T) *sacct.Store {
 		t.Fatal(err)
 	}
 	st := sacct.NewStore()
-	st.Ingest(res)
+	if err := st.Ingest(res); err != nil {
+		t.Fatal(err)
+	}
 	st.Finalize()
 	andesStore = st
 	return st

@@ -164,9 +164,17 @@ func (s *Store) materializeLocked(m Month) error {
 	}
 	s.shards[m] = recs
 	s.sorted[m] = true
+	if min, max, ok := sh.SubmitRange(); ok {
+		s.ranges[m] = shardRange{min: min.UnixNano(), max: max.UnixNano()}
+	}
 	delete(s.lazy, m)
 	return nil
 }
+
+// Warm materialises every lazy shard up front, trading startup time
+// for uniform in-memory scan latency — the right call for an always-on
+// query service, where the first client should not pay the decode.
+func (s *Store) Warm() error { return s.materializeAll() }
 
 // materializeAll decodes every remaining lazy shard.
 func (s *Store) materializeAll() error {

@@ -278,7 +278,9 @@ func TestAddIntoLazyShardMaterialises(t *testing.T) {
 	}
 	extra := recs[0]
 	extra.ID.Job += 1_000_000
-	bin.Add(extra)
+	if err := bin.Add(extra); err != nil {
+		t.Fatal(err)
+	}
 	bin.Finalize()
 	if bin.Len() != st.Len()+1 {
 		t.Errorf("Len after Add = %d, want %d", bin.Len(), st.Len()+1)

@@ -286,6 +286,13 @@ func (f *File) region(cm *columnMeta) ([]byte, error) {
 	return b, nil
 }
 
+// SniffBytes reports whether b starts with the columnar magic — the
+// in-memory counterpart of Sniff, for request bodies that may carry
+// either format.
+func SniffBytes(b []byte) bool {
+	return len(b) >= len(headerMagic) && string(b[:len(headerMagic)]) == headerMagic
+}
+
 // Sniff reports whether path starts with the columnar magic, without
 // parsing anything else. The cheap auto-detect for format selection.
 func Sniff(path string) bool {

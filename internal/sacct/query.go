@@ -99,6 +99,40 @@ func (s *Store) monthsIn(q *Query) []Month {
 	return out
 }
 
+// shardOverlaps reports whether a shard's actual submit extent — not
+// its calendar month — intersects the query window. Lazy shards answer
+// from their footer min/max without decoding a single column, so a
+// window that misses every shard's data costs O(months), never a
+// materialisation. An unknown extent errs toward scanning.
+func (s *Store) shardOverlaps(m Month, q *Query) bool {
+	if q.Start.IsZero() && q.End.IsZero() {
+		return true
+	}
+	s.mu.RLock()
+	rg, ok := s.ranges[m]
+	if !ok {
+		if lz := s.lazy[m]; lz != nil {
+			min, max, hasRows := lz.SubmitRange()
+			if !hasRows {
+				s.mu.RUnlock()
+				return false // footer says the shard is empty
+			}
+			rg, ok = shardRange{min: min.UnixNano(), max: max.UnixNano()}, true
+		}
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return true
+	}
+	if !q.Start.IsZero() && q.Start.UnixNano() > rg.max {
+		return false // window opens after the last submit
+	}
+	if !q.End.IsZero() && q.End.UnixNano() <= rg.min {
+		return false // window closes at or before the first submit
+	}
+	return true
+}
+
 // window narrows a shard to the query's submit-time bounds. Sorted
 // shards (the steady state after Finalize) are binary-searched; a shard
 // still awaiting Finalize falls back to its full extent, since matches
@@ -126,8 +160,10 @@ func (s *Store) window(shard []slurm.Record, sorted bool, q *Query) (lo, hi int)
 // retain a record must copy it and must not mutate through the pointer.
 // On a binary-backed store a full Scan materialises each touched shard
 // once and caches it. An invalid query yields a single terminal error
-// (including a decode error from a corrupt binary shard). Do not
-// interleave with Add/Ingest.
+// (including a decode error from a corrupt binary shard). A Scan
+// concurrent with Add/Finalize is safe and sees a consistent
+// per-shard view — each shard is either pre- or post-mutation; use
+// Generation to detect that the answer may already be stale.
 func (s *Store) Scan(q Query) slurm.RecordSeq {
 	return s.scan(q, nil)
 }
@@ -145,6 +181,9 @@ func (s *Store) scan(q Query, proj []string) slurm.RecordSeq {
 			return
 		}
 		for _, m := range s.monthsIn(&q) {
+			if !s.shardOverlaps(m, &q) {
+				continue
+			}
 			shard, sorted, err := s.shardView(m, proj)
 			if err != nil {
 				yield(nil, err)
@@ -215,6 +254,14 @@ func (q *Query) columns(fields []string) []string {
 // binary-backed store with an explicit field selection, only the
 // selected (plus filtered) columns are decoded.
 func (s *Store) Write(w io.Writer, q Query) (int, error) {
+	return s.WriteN(w, q, 0)
+}
+
+// WriteN is Write with a row bound: limit > 0 stops the scan after that
+// many matching rows (the header still always renders), so a serving
+// layer can cap response sizes without scanning past the cut. limit ≤ 0
+// writes everything.
+func (s *Store) WriteN(w io.Writer, q Query, limit int) (int, error) {
 	fields, _, _, err := q.validate()
 	if err != nil {
 		return 0, err
@@ -243,6 +290,9 @@ func (s *Store) Write(w io.Writer, q Query) (int, error) {
 				return n, err
 			}
 			sb.Reset()
+		}
+		if limit > 0 && n >= limit {
+			break
 		}
 	}
 	_, err = io.WriteString(w, sb.String())

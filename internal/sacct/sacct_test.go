@@ -48,7 +48,9 @@ func buildStore(t *testing.T, days int) (*Store, *sched.Result) {
 		t.Fatal(err)
 	}
 	st := NewStore()
-	st.Ingest(res)
+	if err := st.Ingest(res); err != nil {
+		t.Fatal(err)
+	}
 	st.Finalize()
 	storeCache[days] = struct {
 		st  *Store

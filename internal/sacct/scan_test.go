@@ -24,7 +24,7 @@ func randomStore(rng *rand.Rand, nRecs int) *Store {
 			id = id.WithStep(int64(rng.Intn(4)))
 		}
 		submit := origin.Add(time.Duration(rng.Int63n(int64(100 * 24 * time.Hour))))
-		st.Add(slurm.Record{
+		if err := st.Add(slurm.Record{
 			ID:        id,
 			User:      users[rng.Intn(len(users))],
 			Account:   accounts[rng.Intn(len(accounts))],
@@ -35,7 +35,9 @@ func randomStore(rng *rand.Rand, nRecs int) *Store {
 			End:       submit.Add(2 * time.Hour),
 			Elapsed:   time.Hour,
 			NNodes:    int64(1 + rng.Intn(512)),
-		})
+		}); err != nil {
+			panic(err)
+		}
 	}
 	return st
 }
@@ -182,7 +184,9 @@ func TestFinalizeSkipsSortedShards(t *testing.T) {
 		}
 	}
 	// Adding invalidates the flag.
-	s.Add(slurm.Record{ID: slurm.NewJobID(1), Submit: time.Date(2024, 2, 2, 0, 0, 0, 0, time.UTC)})
+	if err := s.Add(slurm.Record{ID: slurm.NewJobID(1), Submit: time.Date(2024, 2, 2, 0, 0, 0, 0, time.UTC)}); err != nil {
+		t.Fatal(err)
+	}
 	if s.sorted[Month{2024, time.February}] {
 		t.Error("Add did not invalidate the sorted flag")
 	}
@@ -205,7 +209,9 @@ func BenchmarkFinalize(b *testing.B) {
 			rng.Shuffle(n, func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
 		}
 		s := NewStore()
-		s.Add(recs...)
+		if err := s.Add(recs...); err != nil {
+			b.Fatal(err)
+		}
 		return s
 	}
 	for _, bench := range []struct {

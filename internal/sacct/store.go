@@ -20,6 +20,7 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slurmsight/internal/sacct/colstore"
@@ -71,8 +72,11 @@ func ParseMonth(s string) (Month, error) {
 }
 
 // Store is an in-memory accounting database sharded by submission month.
-// It is safe for concurrent queries after ingestion is complete; Ingest
-// and Add take an internal lock so loads may also be concurrent.
+// Queries, Add, and Finalize may run concurrently: mutators never write
+// through record storage a reader could be holding (Finalize sorts into
+// a fresh copy and swaps the shard pointer; Add appends past every
+// captured length), so a scan started before a mutation sees a
+// consistent pre-mutation view of each shard it visits.
 //
 // A store opened with OpenBinary starts lazy: each month shard stays on
 // disk as columns until the first full scan touches it (at which point
@@ -81,10 +85,29 @@ func ParseMonth(s string) (Month, error) {
 type Store struct {
 	mu     sync.RWMutex
 	shards map[Month][]slurm.Record
-	sorted map[Month]bool // shard known to be in recordLess order
+	sorted map[Month]bool       // shard known to be in recordLess order
+	ranges map[Month]shardRange // actual submit extent of materialised shards
 
 	lazy map[Month]*colstore.Shard // binary shards not yet materialised
 	bin  *colstore.File            // backing columnar file; nil for text stores
+
+	gen atomic.Uint64 // bumped on every successful logical mutation
+}
+
+// shardRange is a shard's actual submit extent in unix nanoseconds,
+// inclusive on both ends.
+type shardRange struct{ min, max int64 }
+
+// extend widens the range to admit t.
+func (r shardRange) extend(t time.Time) shardRange {
+	ns := t.UnixNano()
+	if ns < r.min {
+		r.min = ns
+	}
+	if ns > r.max {
+		r.max = ns
+	}
+	return r
 }
 
 // NewStore returns an empty store.
@@ -92,9 +115,17 @@ func NewStore() *Store {
 	return &Store{
 		shards: map[Month][]slurm.Record{},
 		sorted: map[Month]bool{},
+		ranges: map[Month]shardRange{},
 		lazy:   map[Month]*colstore.Shard{},
 	}
 }
+
+// Generation returns the store's mutation counter: it advances after
+// every Add/Ingest that lands records and every Finalize that reorders a
+// shard, and never otherwise. Two reads returning the same value
+// bracket a window in which every query answer was stable, which is
+// what makes it usable as a response-cache key.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
 
 // recordCmp is the shard emission order: submission time, ties broken
 // by sacct job-id order (steps after their job). Because the simulator
@@ -117,44 +148,78 @@ func recordLess(a, b *slurm.Record) bool { return recordCmp(*a, *b) < 0 }
 // Add inserts records, sharding by submission month. Adding into a
 // month still lazy on disk materialises that shard first so the new
 // records land behind the stored ones.
-func (s *Store) Add(records ...slurm.Record) {
+//
+// A materialisation failure (a corrupt backing shard) aborts the insert
+// at the failing record and returns the decode error: records earlier
+// in the batch stay inserted, the failing record and everything after
+// it do not, and the corrupt month keeps its on-disk rows visible to
+// Months/Len and its error surfacing on every later scan — nothing is
+// silently dropped on either side.
+func (s *Store) Add(records ...slurm.Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	added := false
 	for _, r := range records {
 		m := MonthOf(r.Submit)
 		if _, ok := s.lazy[m]; ok {
-			// Best effort: a corrupt lazy shard surfaces on the next
-			// scan; the added records must not be dropped either way.
-			_ = s.materializeLocked(m)
+			if err := s.materializeLocked(m); err != nil {
+				if added {
+					s.gen.Add(1)
+				}
+				return fmt.Errorf("sacct: add into shard %s: %w", m, err)
+			}
+		}
+		if rg, ok := s.ranges[m]; ok {
+			s.ranges[m] = rg.extend(r.Submit)
+		} else {
+			ns := r.Submit.UnixNano()
+			s.ranges[m] = shardRange{min: ns, max: ns}
 		}
 		s.shards[m] = append(s.shards[m], r)
 		delete(s.sorted, m)
+		added = true
 	}
+	if added {
+		s.gen.Add(1)
+	}
+	return nil
 }
 
 // Ingest loads a complete simulation result (jobs and steps).
-func (s *Store) Ingest(res *sched.Result) {
-	s.Add(res.Jobs...)
-	s.Add(res.Steps...)
+func (s *Store) Ingest(res *sched.Result) error {
+	if err := s.Add(res.Jobs...); err != nil {
+		return err
+	}
+	return s.Add(res.Steps...)
 }
 
 // Finalize puts every materialised shard in emission order (recordCmp).
-// Call once after ingestion. Shards whose records already arrived in
-// order — the common case when reloading a Dump — are detected with a
-// linear is-sorted check and skipped instead of re-sorted. Lazy binary
-// shards are left on disk; they sort (if needed) when materialised.
+// Call after ingestion or a batch of Adds. Shards whose records already
+// arrived in order — the common case when reloading a Dump — are
+// detected with a linear is-sorted check and skipped instead of
+// re-sorted. A shard that does need sorting is sorted into a fresh copy
+// and swapped in, so concurrent scans holding the old slice keep a
+// consistent view. Lazy binary shards are left on disk; they sort (if
+// needed) when materialised.
 func (s *Store) Finalize() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	reordered := false
 	for m := range s.shards {
 		if s.sorted[m] {
 			continue
 		}
 		shard := s.shards[m]
 		if !slices.IsSortedFunc(shard, recordCmp) {
+			shard = slices.Clone(shard)
 			slices.SortStableFunc(shard, recordCmp)
+			s.shards[m] = shard
+			reordered = true
 		}
 		s.sorted[m] = true
+	}
+	if reordered {
+		s.gen.Add(1)
 	}
 }
 
@@ -338,7 +403,11 @@ func Load(r io.Reader) (*Store, int, error) {
 			malformed++
 			continue
 		}
-		st.Add(*rec)
+		if err := st.Add(*rec); err != nil {
+			// Unreachable for a fresh text store (no lazy shards), but
+			// the error is not ours to swallow if that ever changes.
+			return nil, malformed, err
+		}
 	}
 	st.Finalize()
 	return st, malformed, nil

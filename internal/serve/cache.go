@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"slurmsight/internal/obs"
+)
+
+// respCache is the generation-keyed response cache behind /query and
+// /figures: rendered response bodies keyed by (canonical request,
+// store generation), bounded by an LRU, with single-flight deduplication
+// of identical in-flight computations. Because the store generation is
+// part of every key, an append invalidates the whole cached view at
+// once — the first request per (key, new generation) recomputes, every
+// concurrent duplicate waits for that one computation, and stale
+// generations simply age out of the LRU.
+type respCache struct {
+	mu       sync.Mutex
+	max      int
+	lru      *list.List // *entry, most recent at front
+	byKey    map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, misses, coalesced, evictions *obs.Counter
+}
+
+// entry is one cached rendered response.
+type entry struct {
+	key    string
+	body   []byte
+	ctype  string
+	rows   int  // -1 when not a row-count response
+	bypass bool // too large to keep: share with concurrent callers, skip LRU
+}
+
+// flight is one in-progress computation that followers wait on.
+type flight struct {
+	done chan struct{}
+	ent  *entry
+	err  error
+}
+
+// cacheOutcome reports how a lookup was satisfied, for the X-Cache
+// response header.
+type cacheOutcome string
+
+const (
+	cacheHit       cacheOutcome = "hit"
+	cacheMiss      cacheOutcome = "miss"
+	cacheCoalesced cacheOutcome = "coalesced"
+)
+
+func newRespCache(max int, m *obs.Registry) *respCache {
+	if max <= 0 {
+		max = 1024
+	}
+	return &respCache{
+		max:       max,
+		lru:       list.New(),
+		byKey:     map[string]*list.Element{},
+		inflight:  map[string]*flight{},
+		hits:      m.Counter("serve_cache_hits_total"),
+		misses:    m.Counter("serve_cache_misses_total"),
+		coalesced: m.Counter("serve_cache_coalesced_total"),
+		evictions: m.Counter("serve_cache_evictions_total"),
+	}
+}
+
+// do returns the cached entry for key, computing it at most once no
+// matter how many identical requests arrive concurrently: the first
+// caller runs compute, later callers block until it finishes and share
+// its result (errors included — a failed computation is not cached, so
+// the next request retries).
+func (c *respCache) do(key string, compute func() (*entry, error)) (*entry, cacheOutcome, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*entry)
+		c.mu.Unlock()
+		c.hits.Inc()
+		return e, cacheHit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Inc()
+		<-f.done
+		return f.ent, cacheCoalesced, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	c.misses.Inc()
+	f.ent, f.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil && !f.ent.bypass {
+		f.ent.key = key
+		c.byKey[key] = c.lru.PushFront(f.ent)
+		for c.lru.Len() > c.max {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.byKey, oldest.Value.(*entry).key)
+			c.evictions.Inc()
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.ent, cacheMiss, f.err
+}
+
+// len returns the number of cached entries (for tests and /healthz).
+func (c *respCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

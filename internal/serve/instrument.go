@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"slurmsight/internal/obs"
+)
+
+// statusWriter captures the response status for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Instrument wraps a handler with request accounting under the given
+// metric prefix: total and per-class (2xx/4xx/5xx) counters, a latency
+// histogram, and an in-flight gauge. Wrap it around whatever the client
+// actually observes (outside fault injection, inside nothing) so the
+// counters agree with client-side measurements. A nil registry meters
+// nothing at no cost.
+func Instrument(m *obs.Registry, prefix string, next http.Handler) http.Handler {
+	requests := m.Counter(prefix + "_requests_total")
+	class2xx := m.Counter(prefix + "_responses_2xx_total")
+	class4xx := m.Counter(prefix + "_responses_4xx_total")
+	class5xx := m.Counter(prefix + "_responses_5xx_total")
+	latency := m.Histogram(prefix+"_request_seconds", obs.LatencyBuckets)
+	inflight := m.Gauge(prefix + "_inflight_requests")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		inflight.Add(1)
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		latency.ObserveSince(t0)
+		inflight.Add(-1)
+		switch {
+		case sw.status >= 500:
+			class5xx.Inc()
+		case sw.status >= 400:
+			class4xx.Inc()
+		default:
+			class2xx.Inc()
+		}
+	})
+}

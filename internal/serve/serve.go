@@ -1,0 +1,524 @@
+// Package serve is the always-on query plane: a long-running HTTP
+// service over a live sacct.Store that accepts incremental appends and
+// answers window queries and figure requests concurrently. Every
+// response is keyed by the store's generation counter, so an append
+// invalidates all cached answers at once and a client can prove its
+// read reflects a prior write by comparing X-Store-Generation headers.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"slurmsight/internal/analyze"
+	"slurmsight/internal/core"
+	"slurmsight/internal/obs"
+	"slurmsight/internal/sacct"
+	"slurmsight/internal/sacct/colstore"
+	"slurmsight/internal/slurm"
+)
+
+const (
+	// maxIngestBody bounds one POST /ingest batch.
+	maxIngestBody = 256 << 20
+	// maxCacheBody keeps huge rendered responses out of the LRU: they
+	// are still computed once per concurrent burst (single-flight) but
+	// not retained.
+	maxCacheBody = 8 << 20
+)
+
+// Config assembles a Server. Store is required; everything else has a
+// serving-appropriate default.
+type Config struct {
+	Store  *sacct.Store
+	System string // chart titles; default "cluster"
+
+	Metrics *obs.Registry // nil allocates a private registry
+
+	RatePerSec   float64 // per-client request rate; <= 0 disables throttling
+	Burst        float64 // token bucket depth; default 2×rate
+	CacheEntries int     // response LRU size; default 1024
+	MaxRows      int     // hard cap on /query rows; <= 0 means unlimited
+	TopUsers     int     // figure 5 user count; default 15
+	Nodes        int     // capacity reference line for ext-load-timeline
+
+	Logf func(string, ...any) // nil discards
+}
+
+// Server handles the query-plane endpoints. Create with New, mount with
+// Handler, run under ListenAndDrain.
+type Server struct {
+	store *sacct.Store
+	cfg   Config
+	m     *obs.Registry
+	cache *respCache
+	lim   *limiter
+	logf  func(string, ...any)
+
+	ingestBatches, ingestRows, ingestMalformed, ingestErrors *obs.Counter
+	genGauge, rowsGauge                                      *obs.Gauge
+
+	// One analyze.Bundle feeds every figure at a given generation; the
+	// mutex serialises (re)collection so a burst of figure requests
+	// after an append scans the store once, not seven times.
+	figMu     sync.Mutex
+	figGen    uint64
+	figBundle *analyze.Bundle
+}
+
+// New validates cfg and builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: Config.Store is required")
+	}
+	if cfg.System == "" {
+		cfg.System = "cluster"
+	}
+	if cfg.TopUsers <= 0 {
+		cfg.TopUsers = 15
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 2 * cfg.RatePerSec
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = obs.NewRegistry()
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Server{
+		store: cfg.Store,
+		cfg:   cfg,
+		m:     m,
+		cache: newRespCache(cfg.CacheEntries, m),
+		lim:   newLimiter(cfg.RatePerSec, cfg.Burst, m),
+		logf:  logf,
+
+		ingestBatches:   m.Counter("serve_ingest_batches_total"),
+		ingestRows:      m.Counter("serve_ingest_rows_total"),
+		ingestMalformed: m.Counter("serve_ingest_malformed_total"),
+		ingestErrors:    m.Counter("serve_ingest_errors_total"),
+		genGauge:        m.Gauge("serve_store_generation"),
+		rowsGauge:       m.Gauge("serve_store_rows"),
+	}
+	s.store.Instrument(m)
+	s.updateStoreGauges()
+	return s, nil
+}
+
+// Metrics returns the registry the server meters into (the configured
+// one, or the private registry New allocated).
+func (s *Server) Metrics() *obs.Registry { return s.m }
+
+// CacheLen reports the current response-cache population.
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+func (s *Server) updateStoreGauges() {
+	s.genGauge.Set(int64(s.store.Generation()))
+	s.rowsGauge.Set(int64(s.store.Len()))
+}
+
+// Handler mounts the full endpoint surface:
+//
+//	GET  /query          window queries, pipe-text out
+//	POST /ingest         append a pipe-text or columnar batch
+//	GET  /figures/<k>.json  chart spec for a figure key
+//	GET  /healthz        liveness + store shape
+//	GET  /metrics        Prometheus text
+//	GET  /debug/pprof/*  profiling
+//
+// The whole mux is wrapped in request accounting under the "serve"
+// metric prefix.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /query", s.throttled(s.handleQuery))
+	mux.HandleFunc("POST /ingest", s.throttled(s.handleIngest))
+	mux.HandleFunc("GET /figures/{name}", s.throttled(s.handleFigure))
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.m.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return Instrument(s.m, "serve", mux)
+}
+
+// throttled gates a handler behind the per-client token bucket.
+func (s *Server) throttled(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.lim.allow(clientKey(r)) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleQuery answers GET /query: the sacct.Query surface as URL
+// parameters (fields, start, end, user, account, partition, state,
+// steps, limit), rendered as pipe-text. Responses carry
+// X-Store-Generation (the generation answered at), X-Cache
+// (hit/miss/coalesced), and X-Rows.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, limit, key, err := parseQuery(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.cfg.MaxRows > 0 && (limit <= 0 || limit > s.cfg.MaxRows) {
+		limit = s.cfg.MaxRows
+		key += "|cap=" + strconv.Itoa(limit)
+	}
+	gen := s.store.Generation()
+	ent, outcome, err := s.cache.do(fmt.Sprintf("q|g=%d|%s", gen, key), func() (*entry, error) {
+		var buf bytes.Buffer
+		n, err := s.store.WriteN(&buf, q, limit)
+		if err != nil {
+			return nil, err
+		}
+		body := buf.Bytes()
+		return &entry{
+			body:   body,
+			ctype:  "text/plain; charset=utf-8",
+			rows:   n,
+			bypass: len(body) > maxCacheBody,
+		}, nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.writeCached(w, ent, outcome, gen)
+}
+
+// handleFigure answers GET /figures/<key>.json with the chart spec for
+// one figure, computed from a store-wide single-pass bundle that is
+// re-collected at most once per generation.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	key, ok := strings.CutSuffix(name, ".json")
+	if !ok || !validFigure(key) {
+		http.Error(w, fmt.Sprintf("unknown figure %q", name), http.StatusNotFound)
+		return
+	}
+	gen := s.store.Generation()
+	ent, outcome, err := s.cache.do(fmt.Sprintf("fig|g=%d|%s", gen, key), func() (*entry, error) {
+		b, err := s.bundleAt(gen)
+		if err != nil {
+			return nil, err
+		}
+		chart, err := core.ChartFromBundle(key, s.cfg.System, b, s.cfg.TopUsers, s.cfg.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		body, err := chart.JSON()
+		if err != nil {
+			return nil, err
+		}
+		return &entry{body: body, ctype: "application/json", rows: -1}, nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.writeCached(w, ent, outcome, gen)
+}
+
+func validFigure(key string) bool {
+	for _, k := range core.FigureKeys() {
+		if k == key {
+			return true
+		}
+	}
+	for _, k := range core.ExtendedFigureKeys() {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// bundleAt returns the figure bundle for gen, re-collecting when the
+// cached one is from another generation. An append landing mid-scan can
+// leave a bundle slightly ahead of its label; the next generation's
+// request recomputes, so staleness never outlives one append.
+func (s *Server) bundleAt(gen uint64) (*analyze.Bundle, error) {
+	s.figMu.Lock()
+	defer s.figMu.Unlock()
+	if s.figBundle != nil && s.figGen == gen {
+		return s.figBundle, nil
+	}
+	b, err := analyze.Collect(s.store.Scan(sacct.Query{IncludeSteps: true}), core.TimelineBucket)
+	if err != nil {
+		return nil, err
+	}
+	s.figBundle, s.figGen = b, gen
+	return b, nil
+}
+
+func (s *Server) writeCached(w http.ResponseWriter, ent *entry, outcome cacheOutcome, gen uint64) {
+	h := w.Header()
+	h.Set("Content-Type", ent.ctype)
+	h.Set("X-Store-Generation", strconv.FormatUint(gen, 10))
+	h.Set("X-Cache", string(outcome))
+	if ent.rows >= 0 {
+		h.Set("X-Rows", strconv.Itoa(ent.rows))
+	}
+	w.Write(ent.body)
+}
+
+// ingestResponse is the POST /ingest reply.
+type ingestResponse struct {
+	Rows       int    `json:"rows"`
+	Malformed  int    `json:"malformed"`
+	Generation uint64 `json:"generation"`
+}
+
+// handleIngest appends a record batch: a columnar blob (sniffed by
+// magic) or pipe-text with a header line. The batch lands under the
+// store lock, Finalize restores scan order, and the response reports
+// the post-append generation — a client that re-queries with at least
+// that generation in X-Store-Generation has proof its rows are visible.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r, maxIngestBody)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	var (
+		recs      []slurm.Record
+		malformed int
+	)
+	if colstore.SniffBytes(body) {
+		recs, err = decodeBinaryBatch(body)
+	} else {
+		recs, malformed, err = decodeTextBatch(body)
+	}
+	if err != nil {
+		s.ingestErrors.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(recs) > 0 {
+		if err := s.store.Add(recs...); err != nil {
+			// The store refused the append (a corrupt lazy shard,
+			// typically) — the data-loss path this service exists to
+			// close. Surface it loudly; nothing was silently dropped.
+			s.ingestErrors.Inc()
+			s.updateStoreGauges()
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.store.Finalize()
+	}
+	s.ingestBatches.Inc()
+	s.ingestRows.Add(int64(len(recs)))
+	s.ingestMalformed.Add(int64(malformed))
+	s.updateStoreGauges()
+	gen := s.store.Generation()
+	s.logf("ingest: +%d rows (%d malformed), generation %d", len(recs), malformed, gen)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Store-Generation", strconv.FormatUint(gen, 10))
+	json.NewEncoder(w).Encode(ingestResponse{Rows: len(recs), Malformed: malformed, Generation: gen})
+}
+
+func readBody(r *http.Request, max int64) ([]byte, error) {
+	body, err := readAllLimit(r, max)
+	if err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func readAllLimit(r *http.Request, max int64) ([]byte, error) {
+	var buf bytes.Buffer
+	n, err := buf.ReadFrom(http.MaxBytesReader(nil, r.Body, max))
+	if err != nil {
+		return nil, fmt.Errorf("serve: ingest body: %w (limit %d bytes)", err, max)
+	}
+	_ = n
+	return buf.Bytes(), nil
+}
+
+// decodeBinaryBatch opens a columnar blob (via a temp file — the reader
+// is mmap-based) and materialises every record, steps included.
+func decodeBinaryBatch(body []byte) ([]slurm.Record, error) {
+	tmp, err := os.CreateTemp("", "queryd-ingest-*.colstore")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(body); err != nil {
+		tmp.Close()
+		return nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, err
+	}
+	st, err := sacct.OpenBinary(tmp.Name())
+	if err != nil {
+		return nil, fmt.Errorf("serve: columnar batch: %w", err)
+	}
+	defer st.Close()
+	recs, err := st.Select(sacct.Query{IncludeSteps: true})
+	if err != nil {
+		return nil, fmt.Errorf("serve: columnar batch: %w", err)
+	}
+	return recs, nil
+}
+
+// decodeTextBatch parses a pipe-text batch: first non-blank line is the
+// header, malformed rows are counted and skipped (the curation stage's
+// contract), an unusable header is an error.
+func decodeTextBatch(body []byte) (recs []slurm.Record, malformed int, err error) {
+	var fields []string
+	for _, raw := range strings.Split(string(body), "\n") {
+		line := strings.TrimSuffix(raw, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if fields == nil {
+			names := strings.Split(line, slurm.Separator)
+			for _, name := range names {
+				if _, ok := slurm.FieldByName(name); !ok {
+					return nil, 0, fmt.Errorf("serve: header has unknown field %q", name)
+				}
+			}
+			fields = names
+			continue
+		}
+		rec, err := slurm.DecodeRecord(line, fields)
+		if err != nil {
+			malformed++
+			continue
+		}
+		recs = append(recs, *rec)
+	}
+	if fields == nil {
+		return nil, 0, fmt.Errorf("serve: empty batch (no header line)")
+	}
+	return recs, malformed, nil
+}
+
+// handleHealth reports liveness and store shape.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.updateStoreGauges()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":        "ok",
+		"rows":          s.store.Len(),
+		"months":        len(s.store.Months()),
+		"generation":    s.store.Generation(),
+		"cache_entries": s.cache.len(),
+	})
+}
+
+// timeLayouts are the accepted start/end spellings, most to least
+// specific. All-digit strings of unix-seconds length are epoch seconds.
+var timeLayouts = []string{
+	time.RFC3339Nano,
+	time.RFC3339,
+	"2006-01-02T15:04:05",
+	"2006-01-02 15:04:05",
+	"2006-01-02",
+	"2006-01",
+	"2006",
+}
+
+func parseTimeParam(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil && len(s) >= 9 {
+		return time.Unix(n, 0).UTC(), nil
+	}
+	for _, layout := range timeLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t.UTC(), nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("unparseable time %q (try RFC3339, 2006-01-02, 2006-01, or epoch seconds)", s)
+}
+
+// parseQuery maps URL parameters onto a sacct.Query plus a row limit,
+// returning a canonical cache-key fragment (generation excluded — the
+// caller prefixes it). Validation failures here become 400s; anything
+// that survives and still errors during the scan is a 500.
+func parseQuery(v map[string][]string) (q sacct.Query, limit int, key string, err error) {
+	get := func(name string) string {
+		if vals := v[name]; len(vals) > 0 {
+			return strings.TrimSpace(vals[0])
+		}
+		return ""
+	}
+	if f := get("fields"); f != "" {
+		for _, name := range strings.Split(f, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := slurm.FieldByName(name); !ok {
+				return q, 0, "", fmt.Errorf("unknown field %q", name)
+			}
+			q.Fields = append(q.Fields, name)
+		}
+	}
+	if q.Start, err = parseTimeParam(get("start")); err != nil {
+		return q, 0, "", fmt.Errorf("start: %w", err)
+	}
+	if q.End, err = parseTimeParam(get("end")); err != nil {
+		return q, 0, "", fmt.Errorf("end: %w", err)
+	}
+	if !q.Start.IsZero() && !q.End.IsZero() && !q.Start.Before(q.End) {
+		return q, 0, "", fmt.Errorf("empty window: start %s is not before end %s", q.Start, q.End)
+	}
+	q.User = get("user")
+	q.Account = get("account")
+	q.Partition = get("partition")
+	if st := get("state"); st != "" {
+		if _, err := slurm.ParseState(st); err != nil {
+			return q, 0, "", err
+		}
+		q.State = st
+	}
+	switch steps := get("steps"); steps {
+	case "", "0", "false":
+	case "1", "true":
+		q.IncludeSteps = true
+	default:
+		return q, 0, "", fmt.Errorf("steps must be a boolean, got %q", steps)
+	}
+	if l := get("limit"); l != "" {
+		limit, err = strconv.Atoi(l)
+		if err != nil || limit < 0 {
+			return q, 0, "", fmt.Errorf("limit must be a non-negative integer, got %q", l)
+		}
+	}
+	tkey := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return strconv.FormatInt(t.UnixNano(), 10)
+	}
+	key = strings.Join([]string{
+		"f=" + strings.ToLower(strings.Join(q.Fields, ",")),
+		"s=" + tkey(q.Start),
+		"e=" + tkey(q.End),
+		"u=" + q.User,
+		"a=" + q.Account,
+		"p=" + q.Partition,
+		"st=" + strings.ToLower(q.State),
+		"steps=" + strconv.FormatBool(q.IncludeSteps),
+		"n=" + strconv.Itoa(limit),
+	}, "|")
+	return q, limit, key, nil
+}

@@ -1,0 +1,478 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"slurmsight/internal/obs"
+	"slurmsight/internal/sacct"
+	"slurmsight/internal/slurm"
+)
+
+func testRecord(i int, submit time.Time) slurm.Record {
+	return slurm.Record{
+		ID:        slurm.NewJobID(int64(1000 + i)),
+		User:      fmt.Sprintf("u%02d", i%5),
+		Account:   "acct",
+		Partition: "batch",
+		Submit:    submit,
+		Start:     submit.Add(time.Minute),
+		End:       submit.Add(11 * time.Minute),
+		Elapsed:   10 * time.Minute,
+		State:     slurm.StateCompleted,
+		NNodes:    2,
+		NCPUs:     16,
+	}
+}
+
+func testStore(t *testing.T, n int) *sacct.Store {
+	t.Helper()
+	st := sacct.NewStore()
+	base := time.Date(2024, 1, 10, 0, 0, 0, 0, time.UTC)
+	recs := make([]slurm.Record, n)
+	for i := range recs {
+		recs[i] = testRecord(i, base.Add(time.Duration(i)*time.Hour))
+	}
+	if err := st.Add(recs...); err != nil {
+		t.Fatal(err)
+	}
+	st.Finalize()
+	return st
+}
+
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Store == nil {
+		cfg.Store = testStore(t, 10)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// textBatch renders records as a pipe-text ingest body.
+func textBatch(t *testing.T, recs ...slurm.Record) string {
+	t.Helper()
+	fields := []string{"JobID", "User", "Account", "Partition", "Submit", "Start", "End", "Elapsed", "State", "NNodes", "NCPUs"}
+	var sb strings.Builder
+	sb.WriteString(slurm.Header(fields))
+	sb.WriteByte('\n')
+	for i := range recs {
+		line, err := slurm.EncodeRecord(&recs[i], fields)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestQueryIngestGeneration pins the tentpole contract: a generation
+// bump invalidates cached query responses exactly once, and a query
+// issued after an acknowledged ingest observes the appended rows.
+func TestQueryIngestGeneration(t *testing.T) {
+	m := obs.NewRegistry()
+	s, ts := testServer(t, Config{Metrics: m})
+	misses := m.Counter("serve_cache_misses_total")
+	hits := m.Counter("serve_cache_hits_total")
+
+	u := ts.URL + "/query?fields=JobID,User"
+	resp, body := get(t, u)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first query X-Cache = %q, want miss", got)
+	}
+	if got := resp.Header.Get("X-Rows"); got != "10" {
+		t.Fatalf("X-Rows = %q, want 10", got)
+	}
+	gen0 := resp.Header.Get("X-Store-Generation")
+
+	resp, _ = get(t, u)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("repeat query X-Cache = %q, want hit", got)
+	}
+	if misses.Value() != 1 || hits.Value() != 1 {
+		t.Fatalf("misses=%d hits=%d, want 1/1", misses.Value(), hits.Value())
+	}
+
+	// Append 5 rows in a later month.
+	base := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	var recs []slurm.Record
+	for i := 0; i < 5; i++ {
+		recs = append(recs, testRecord(100+i, base.Add(time.Duration(i)*time.Hour)))
+	}
+	ingResp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(textBatch(t, recs...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack ingestResponse
+	if err := json.NewDecoder(ingResp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	ingResp.Body.Close()
+	if ingResp.StatusCode != http.StatusOK || ack.Rows != 5 {
+		t.Fatalf("ingest status %d ack %+v", ingResp.StatusCode, ack)
+	}
+
+	// The bump invalidates the cached response exactly once: one new
+	// miss, then hits again.
+	for i, want := range []string{"miss", "hit", "hit"} {
+		resp, _ = get(t, u)
+		if got := resp.Header.Get("X-Cache"); got != want {
+			t.Fatalf("query %d after ingest: X-Cache = %q, want %q", i, got, want)
+		}
+		if got := resp.Header.Get("X-Rows"); got != "15" {
+			t.Fatalf("query %d after ingest: X-Rows = %q, want 15", i, got)
+		}
+		if gen := resp.Header.Get("X-Store-Generation"); gen == gen0 {
+			t.Fatalf("generation did not advance past %s", gen0)
+		}
+	}
+	if misses.Value() != 2 {
+		t.Fatalf("misses after one generation bump = %d, want exactly 2", misses.Value())
+	}
+	if s.CacheLen() == 0 {
+		t.Fatal("cache is empty")
+	}
+}
+
+func TestIngestBinaryBatch(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	batch := testStore(t, 3) // distinct store rendered as a columnar blob
+	path := filepath.Join(t.TempDir(), "batch.colstore")
+	if err := batch.DumpBinaryFile(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/ingest", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack ingestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || ack.Rows != 3 {
+		t.Fatalf("binary ingest: status %d ack %+v", resp.StatusCode, ack)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	for _, bad := range []string{
+		"/query?fields=NoSuchField",
+		"/query?start=not-a-time",
+		"/query?state=NOT_A_STATE",
+		"/query?limit=-3",
+		"/query?steps=maybe",
+		"/query?start=2024-02&end=2024-01",
+	} {
+		resp, body := get(t, ts.URL+bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", bad, resp.StatusCode, strings.TrimSpace(body))
+		}
+	}
+	resp, _ := get(t, ts.URL+"/figures/not-a-figure.json")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown figure: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestQueryWindowAndFilters(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := get(t, ts.URL+"/query?fields=JobID,User&user=u01&start=2024-01-01&end=2024-03-01")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 3 { // header + 2 rows for u01 of 10
+		t.Fatalf("got %d lines: %q", len(lines), body)
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasSuffix(l, "|u01") {
+			t.Fatalf("row %q does not match filter", l)
+		}
+	}
+}
+
+func TestFigureEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{System: "testsys"})
+	resp, body := get(t, ts.URL+"/figures/fig1-volume.json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var spec map[string]any
+	if err := json.Unmarshal([]byte(body), &spec); err != nil {
+		t.Fatalf("figure is not JSON: %v", err)
+	}
+	if title, _ := spec["title"].(string); !strings.Contains(title, "testsys") {
+		t.Fatalf("title %q does not mention the system", spec["title"])
+	}
+	resp, _ = get(t, ts.URL+"/figures/fig1-volume.json")
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("repeat figure X-Cache = %q, want hit", got)
+	}
+}
+
+func TestThrottle(t *testing.T) {
+	_, ts := testServer(t, Config{RatePerSec: 0.001, Burst: 2})
+	var got []int
+	for i := 0; i < 4; i++ {
+		resp, _ := get(t, ts.URL+"/query?fields=JobID")
+		got = append(got, resp.StatusCode)
+		if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+	}
+	want := []int{200, 200, 429, 429}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("statuses %v, want %v", got, want)
+		}
+	}
+	// /healthz and /metrics stay open under throttling.
+	for _, p := range []string{"/healthz", "/metrics"} {
+		if resp, _ := get(t, ts.URL+p); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s throttled", p)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal(resp.StatusCode)
+	}
+	var h map[string]any
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["rows"].(float64) != 10 || h["status"] != "ok" {
+		t.Fatalf("healthz %v", h)
+	}
+}
+
+// TestCacheSingleFlight pins the dedup contract: concurrent identical
+// misses run the computation once and everyone shares the result.
+func TestCacheSingleFlight(t *testing.T) {
+	c := newRespCache(8, obs.NewRegistry())
+	var computes int32
+	var mu sync.Mutex
+	release := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	outcomes := make([]cacheOutcome, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ent, out, err := c.do("k", func() (*entry, error) {
+				mu.Lock()
+				computes++
+				mu.Unlock()
+				<-release
+				return &entry{body: []byte("v")}, nil
+			})
+			if err != nil || string(ent.body) != "v" {
+				t.Errorf("do: %v %q", err, ent.body)
+			}
+			outcomes[i] = out
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let followers queue up
+	close(release)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1", computes)
+	}
+	var miss, coal int
+	for _, o := range outcomes {
+		switch o {
+		case cacheMiss:
+			miss++
+		case cacheCoalesced:
+			coal++
+		}
+	}
+	if miss != 1 || coal != n-1 {
+		t.Fatalf("miss=%d coalesced=%d, want 1/%d", miss, coal, n-1)
+	}
+}
+
+func TestCacheEvictionAndBypass(t *testing.T) {
+	c := newRespCache(2, obs.NewRegistry())
+	mk := func(key string, bypass bool) {
+		t.Helper()
+		if _, _, err := c.do(key, func() (*entry, error) {
+			return &entry{body: []byte(key), bypass: bypass}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("a", false)
+	mk("b", false)
+	mk("c", false) // evicts a
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	_, out, _ := c.do("a", func() (*entry, error) { return &entry{body: []byte("a2")}, nil })
+	if out != cacheMiss {
+		t.Fatalf("evicted key came back as %v", out)
+	}
+	mk("big", true) // bypass: computed but never cached
+	_, out, _ = c.do("big", func() (*entry, error) { return &entry{body: []byte("big2"), bypass: true}, nil })
+	if out != cacheMiss {
+		t.Fatalf("bypass entry was cached (outcome %v)", out)
+	}
+	// A failed computation is not cached either.
+	c.do("err", func() (*entry, error) { return nil, fmt.Errorf("boom") })
+	_, out, err := c.do("err", func() (*entry, error) { return &entry{body: []byte("ok")}, nil })
+	if err != nil || out != cacheMiss {
+		t.Fatalf("error entry was cached (outcome %v err %v)", out, err)
+	}
+}
+
+func TestLimiterRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newLimiter(2, 2, obs.NewRegistry())
+	l.now = func() time.Time { return now }
+	if !l.allow("a") || !l.allow("a") {
+		t.Fatal("burst refused")
+	}
+	if l.allow("a") {
+		t.Fatal("over-burst admitted")
+	}
+	if !l.allow("b") {
+		t.Fatal("independent client refused")
+	}
+	now = now.Add(time.Second) // 2 tokens refilled
+	if !l.allow("a") || !l.allow("a") || l.allow("a") {
+		t.Fatal("refill arithmetic wrong")
+	}
+}
+
+func TestWatcherTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slurm-2024-01.txt")
+	st := sacct.NewStore()
+	w := &Watcher{Path: path, Store: st}
+
+	// Missing file: wait, no error.
+	if n, bad, err := w.poll(); n != 0 || bad != 0 || err != nil {
+		t.Fatalf("poll on missing file: %d %d %v", n, bad, err)
+	}
+
+	base := time.Date(2024, 1, 5, 0, 0, 0, 0, time.UTC)
+	r0, r1, r2 := testRecord(0, base), testRecord(1, base.Add(time.Hour)), testRecord(2, base.Add(2*time.Hour))
+	full := textBatch(t, r0, r1, r2)
+	lines := strings.SplitAfter(full, "\n")
+
+	// Header + first row + half of the second row.
+	half := lines[0] + lines[1] + lines[2][:8]
+	if err := os.WriteFile(path, []byte(half), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, err := w.poll(); err != nil || n != 1 {
+		t.Fatalf("first poll: n=%d err=%v, want 1 row", n, err)
+	}
+	// Rest of the file, plus one malformed line.
+	rest := lines[2][8:] + lines[3] + "not|a|row\n"
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(rest); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if n, bad, err := w.poll(); err != nil || n != 2 || bad != 1 {
+		t.Fatalf("second poll: n=%d bad=%d err=%v, want 2/1", n, bad, err)
+	}
+	if st.Len() != 3 {
+		t.Fatalf("store has %d rows, want 3", st.Len())
+	}
+
+	// Rotation: a shorter file resets the tail, header and all.
+	if err := os.WriteFile(path, []byte(textBatch(t, testRecord(9, base.AddDate(0, 1, 0)))), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, err := w.poll(); err != nil || n != 1 {
+		t.Fatalf("post-rotation poll: n=%d err=%v, want 1", n, err)
+	}
+	if st.Len() != 4 {
+		t.Fatalf("store has %d rows after rotation, want 4", st.Len())
+	}
+}
+
+func TestDrainShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Drain(ctx, srv, ln, 2*time.Second, nil) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not return after cancel")
+	}
+}

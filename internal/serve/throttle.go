@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"slurmsight/internal/obs"
+)
+
+// limiter is a per-client token bucket: each client key accrues rate
+// tokens per second up to burst, and every admitted request spends one.
+// It bounds what any single client can extract from the service no
+// matter how many connections it opens. A nil limiter admits everything.
+type limiter struct {
+	rate, burst float64
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+	now     func() time.Time // test hook
+
+	throttled *obs.Counter
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxClients bounds the bucket map; past it, buckets already back at
+// full burst (i.e. idle long enough to be indistinguishable from new
+// clients) are swept.
+const maxClients = 8192
+
+func newLimiter(rate, burst float64, m *obs.Registry) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{
+		rate:      rate,
+		burst:     burst,
+		clients:   map[string]*bucket{},
+		now:       time.Now,
+		throttled: m.Counter("serve_throttled_total"),
+	}
+}
+
+// allow reports whether the client may proceed, spending one token.
+func (l *limiter) allow(key string) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.clients[key]
+	if !ok {
+		if len(l.clients) >= maxClients {
+			l.sweepLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[key] = b
+	}
+	b.tokens = min(l.burst, b.tokens+l.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens < 1 {
+		l.throttled.Inc()
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sweepLocked drops buckets that have refilled to burst — clients idle
+// long enough that evicting them changes nothing.
+func (l *limiter) sweepLocked(now time.Time) {
+	for k, b := range l.clients {
+		if b.tokens+l.rate*now.Sub(b.last).Seconds() >= l.burst {
+			delete(l.clients, k)
+		}
+	}
+}
+
+// clientKey identifies the caller for throttling: the API key header
+// when present (one bucket per credential however many hosts share it),
+// otherwise the remote host (one bucket per address however many
+// connections it opens).
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "addr:" + host
+}
