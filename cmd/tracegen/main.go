@@ -42,6 +42,8 @@ func main() {
 		profile    = flag.String("profile", "", "JSON workload profile (overrides -system/-scenario)")
 		noSteps    = flag.Bool("no-steps", false, "skip step records (job-level trace only)")
 		noBackfill = flag.Bool("no-backfill", false, "disable EASY backfill in the simulator")
+		backfill   = flag.String("backfill", "", "backfill strategy: easy, conservative, or none (overrides -no-backfill)")
+		nodeSel    = flag.String("node-select", "", "node selection policy: pool, firstfit, or bestfit")
 		resort     = flag.Duration("resort-every", 0, "incremental re-prioritisation cadence (0 = exact per-pass recompute)")
 	)
 	flag.Parse()
@@ -104,6 +106,8 @@ func main() {
 
 	cfg := sched.DefaultConfig(sys)
 	cfg.EnableBackfill = !*noBackfill
+	cfg.Backfill = *backfill
+	cfg.NodeSelect = *nodeSel
 	cfg.ResortEvery = *resort
 	cfg.Seed = *seed
 	sim, err := sched.New(cfg)

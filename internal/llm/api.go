@@ -80,6 +80,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/chat", s.handleChat)
+	mux.HandleFunc("/v1/evolve", s.handleEvolve)
 	return mux
 }
 

@@ -1,0 +1,143 @@
+package llm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// card builds a minimal schedbench/v1 scorecard with the given policy
+// rows (name, preset, backfill, slowdown).
+func card(rows ...[4]string) json.RawMessage {
+	type spec struct {
+		Preset   string `json:"preset,omitempty"`
+		Backfill string `json:"backfill,omitempty"`
+	}
+	type pol struct {
+		Name         string  `json:"name"`
+		MeanSlowdown float64 `json:"mean_slowdown"`
+		MeanWaitSec  float64 `json:"mean_wait_sec"`
+		Utilization  float64 `json:"utilization"`
+		Spec         spec    `json:"spec"`
+	}
+	out := struct {
+		Schema   string `json:"schema"`
+		Policies []pol  `json:"policies"`
+	}{Schema: "schedbench/v1"}
+	for _, r := range rows {
+		var sd float64
+		fmt.Sscanf(r[3], "%f", &sd)
+		out.Policies = append(out.Policies, pol{
+			Name: r[0], MeanSlowdown: sd, MeanWaitSec: sd * 100, Utilization: 1 / (1 + sd),
+			Spec: spec{Preset: r[1], Backfill: r[2]},
+		})
+	}
+	b, _ := json.Marshal(out)
+	return b
+}
+
+func TestEvolveEndToEnd(t *testing.T) {
+	ts, _ := startServer(t)
+	c := NewClient(ts.URL, "sk-test")
+
+	// The aging arm wins: the advisor should push the target's age
+	// weight up.
+	resp, err := c.Evolve(context.Background(), EvolveRequest{
+		Scorecard: card(
+			[4]string{"evolved", "", "", "8.0"},
+			[4]string{"aging", "aging", "", "3.0"},
+			[4]string{"fifo", "fifo", "", "12.0"},
+		),
+		Target: "evolved",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model == "" || resp.Rationale == "" {
+		t.Errorf("missing model/rationale: %+v", resp)
+	}
+	if len(resp.Deltas) == 0 {
+		t.Fatal("no deltas for a losing target")
+	}
+	d := resp.Deltas[0]
+	if d.Policy != "evolved" || d.Param != "age_weight" || d.Op != "scale" || d.Value <= 1 {
+		t.Errorf("unexpected delta %+v, want age_weight scale-up on evolved", d)
+	}
+}
+
+func TestEvolveConvergedTarget(t *testing.T) {
+	ts, _ := startServer(t)
+	c := NewClient(ts.URL, "sk-test")
+	resp, err := c.Evolve(context.Background(), EvolveRequest{
+		Scorecard: card(
+			[4]string{"evolved", "", "", "2.0"},
+			[4]string{"aging", "aging", "", "3.0"},
+		),
+		Target: "evolved",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Deltas) != 0 {
+		t.Errorf("leading target still got deltas: %+v", resp.Deltas)
+	}
+}
+
+func TestEvolveAdoptsWinnersBackfill(t *testing.T) {
+	ts, _ := startServer(t)
+	c := NewClient(ts.URL, "sk-test")
+	resp, err := c.Evolve(context.Background(), EvolveRequest{
+		Scorecard: card(
+			[4]string{"evolved", "", "", "8.0"},
+			[4]string{"conservative", "", "conservative", "3.0"},
+		),
+		Target: "evolved",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, d := range resp.Deltas {
+		if d.Param == "backfill" && d.Op == "set" && d.Str == "conservative" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no backfill adoption delta in %+v", resp.Deltas)
+	}
+}
+
+func TestEvolveRejections(t *testing.T) {
+	ts, _ := startServer(t)
+	c := NewClient(ts.URL, "sk-test")
+	c.MaxRetries = 0
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		req  EvolveRequest
+	}{
+		{"missing target", EvolveRequest{Scorecard: card([4]string{"a", "", "", "1"}, [4]string{"b", "", "", "2"}), Target: "zzz"}},
+		{"bad schema", EvolveRequest{Scorecard: json.RawMessage(`{"schema":"v999"}`), Target: "a"}},
+		{"one policy", EvolveRequest{Scorecard: card([4]string{"a", "", "", "1"}), Target: "a"}},
+		{"bad objective", EvolveRequest{
+			Scorecard: card([4]string{"a", "", "", "1"}, [4]string{"b", "", "", "2"}),
+			Target:    "a", Objective: "vibes"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := c.Evolve(ctx, tc.req); err == nil {
+				t.Error("server accepted bad evolve request")
+			}
+		})
+	}
+
+	// Client-side validation fires before any network call.
+	if _, err := c.Evolve(ctx, EvolveRequest{Target: "a"}); err == nil {
+		t.Error("Evolve accepted empty scorecard")
+	}
+	if _, err := c.Evolve(ctx, EvolveRequest{Scorecard: card([4]string{"a", "", "", "1"})}); err == nil {
+		t.Error("Evolve accepted empty target")
+	}
+}

@@ -266,6 +266,16 @@ func (r *Registry) WriteText(w io.Writer) {
 	}
 }
 
+// Label renders a metric name with one Prometheus-style label pair
+// embedded, e.g. Label("sched_backfill_starts_total", "policy", "easy")
+// → sched_backfill_starts_total{policy="easy"}. The registry is purely
+// name-keyed, so each labelled name is its own instrument; WriteText
+// emits it verbatim, which the Prometheus text format parses as a
+// labelled sample.
+func Label(name, key, value string) string {
+	return name + "{" + key + "=" + strconv.Quote(value) + "}"
+}
+
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {

@@ -14,6 +14,7 @@ package sched
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"slurmsight/internal/cluster"
@@ -36,7 +37,22 @@ type Config struct {
 
 	// EnableBackfill toggles the EASY backfill pass; disabling it is the
 	// ablation baseline (pure priority-order FIFO with a blocking head).
+	// The Backfill name, when set, overrides this legacy toggle.
 	EnableBackfill bool
+
+	// Priority names the priority policy: "multifactor" (empty defaults
+	// here) or "fifo". See PriorityByName.
+	Priority string
+
+	// Backfill names the backfill strategy: "easy", "conservative", or
+	// "none". Empty defers to EnableBackfill — easy when true, none when
+	// false. See BackfillByName.
+	Backfill string
+
+	// NodeSelect names the node-selection policy: "pool" (the default
+	// fragmentation-free scalar model), "firstfit", or "bestfit". See
+	// SelectorByName.
+	NodeSelect string
 
 	// EnableNodeSharing lets sub-node requests (Request.Cores > 0) pack
 	// onto shared nodes instead of each occupying a full node — the
@@ -105,22 +121,64 @@ func DefaultConfig(sys *cluster.System) Config {
 	}
 }
 
+// Typed configuration errors, matchable with errors.Is: a caller handing
+// sched.New a bad config gets a diagnosable rejection up front instead of
+// undefined behaviour deep in a run.
+var (
+	// ErrNilSystem rejects a configuration without a cluster model.
+	ErrNilSystem = errors.New("sched: config needs a system")
+	// ErrNegativeWeight rejects negative multifactor priority weights.
+	ErrNegativeWeight = errors.New("sched: negative priority weight")
+	// ErrBadDepth rejects a negative BackfillDepth.
+	ErrBadDepth = errors.New("sched: negative backfill depth")
+	// ErrBadTimeConstant rejects non-positive AgeMax/FairShareHalfLife
+	// and a negative ResortEvery cadence.
+	ErrBadTimeConstant = errors.New("sched: bad time constant")
+	// ErrUnknownPolicy rejects unresolvable policy names.
+	ErrUnknownPolicy = errors.New("sched: unknown policy")
+)
+
+// backfillName resolves the effective backfill strategy from the explicit
+// name and the legacy EnableBackfill toggle.
+func (c *Config) backfillName() string {
+	if c.Backfill != "" {
+		return c.Backfill
+	}
+	if c.EnableBackfill {
+		return "easy"
+	}
+	return "none"
+}
+
 // Validate checks the configuration.
 func (c *Config) Validate() error {
 	if c.System == nil {
-		return errors.New("sched: config needs a system")
+		return ErrNilSystem
 	}
 	if err := c.System.Validate(); err != nil {
 		return err
 	}
 	if c.AgeMax <= 0 || c.FairShareHalfLife <= 0 {
-		return errors.New("sched: time constants must be positive")
+		return fmt.Errorf("%w: AgeMax and FairShareHalfLife must be positive", ErrBadTimeConstant)
+	}
+	if c.AgeWeight < 0 || c.SizeWeight < 0 || c.FairShareWeight < 0 {
+		return fmt.Errorf("%w: age=%d size=%d fairshare=%d",
+			ErrNegativeWeight, c.AgeWeight, c.SizeWeight, c.FairShareWeight)
 	}
 	if c.BackfillDepth < 0 {
-		return errors.New("sched: negative backfill depth")
+		return fmt.Errorf("%w: %d", ErrBadDepth, c.BackfillDepth)
 	}
 	if c.ResortEvery < 0 {
-		return errors.New("sched: negative re-sort cadence")
+		return fmt.Errorf("%w: negative re-sort cadence", ErrBadTimeConstant)
+	}
+	if _, err := PriorityByName(c.Priority, c); err != nil {
+		return fmt.Errorf("%w: priority %q", ErrUnknownPolicy, c.Priority)
+	}
+	if _, err := BackfillByName(c.backfillName()); err != nil {
+		return fmt.Errorf("%w: backfill %q", ErrUnknownPolicy, c.Backfill)
+	}
+	if _, err := SelectorByName(c.NodeSelect); err != nil {
+		return fmt.Errorf("%w: node selector %q", ErrUnknownPolicy, c.NodeSelect)
 	}
 	seen := map[string]bool{}
 	for _, r := range c.Reservations {

@@ -58,6 +58,10 @@ type job struct {
 	depPred    *job   // afterok predecessor
 	dependents []*job // jobs held on this one
 	res        *resPool
+
+	// nodeIDs records the nodes a tracking NodeSelector placed this job
+	// on; empty under the default pool selector.
+	nodeIDs []int32
 }
 
 // nodeEquivalents converts a job's core allocation into fractional nodes
@@ -146,9 +150,15 @@ type Simulator struct {
 	shadowBuf []*job      // scratch copy of the running heap
 	victimBuf []*job
 
-	share   float64 // fair-share nominal usage scale
-	ageFull int64   // age term at saturation
-	halfF   float64 // FairShareHalfLife as float ns, the decay divisor
+	halfF float64 // FairShareHalfLife as float ns, the decay divisor
+
+	// The pluggable policy composition, resolved once in New from the
+	// config's policy names. The default triple (multifactor priority,
+	// EASY backfill, pool selection) reproduces the pre-refactor
+	// simulator bit for bit.
+	prio PriorityPolicy
+	bf   BackfillPolicy
+	sel  NodeSelector
 
 	// Instruments resolved once in New from cfg.Metrics; all nil (free
 	// no-ops) when metrics are off, keeping the event loop unmetered.
@@ -156,6 +166,8 @@ type Simulator struct {
 	mPasses         *obs.Counter
 	mBackfillAtt    *obs.Counter
 	mBackfillStarts *obs.Counter
+	mPreemptAtt     *obs.Counter
+	mPreemptEvict   *obs.Counter
 	mQueueDepth     *obs.Gauge
 	mRunning        *obs.Gauge
 }
@@ -172,15 +184,26 @@ func New(cfg Config) (*Simulator, error) {
 		qosDefs:    make(map[string]cluster.QOS, len(cfg.System.QOSLevels)),
 		resByName:  map[string]*resPool{},
 		schedDirty: true,
-		share:      float64(cfg.System.Nodes) * cfg.FairShareHalfLife.Seconds() / 64,
-		ageFull:    int64(float64(cfg.AgeWeight)),
 		halfF:      float64(cfg.FairShareHalfLife),
 	}
+	var err error
+	if s.prio, err = PriorityByName(cfg.Priority, &cfg); err != nil {
+		return nil, err
+	}
+	if s.bf, err = BackfillByName(cfg.backfillName()); err != nil {
+		return nil, err
+	}
+	if s.sel, err = SelectorByName(cfg.NodeSelect); err != nil {
+		return nil, err
+	}
+	s.sel.Reset(cfg.System)
 	if cfg.Metrics != nil {
 		s.mEvents = cfg.Metrics.Counter("sched_events_processed_total")
 		s.mPasses = cfg.Metrics.Counter("sched_passes_total")
 		s.mBackfillAtt = cfg.Metrics.Counter("sched_backfill_attempts_total")
 		s.mBackfillStarts = cfg.Metrics.Counter("sched_backfill_starts_total")
+		s.mPreemptAtt = cfg.Metrics.Counter("sched_preempt_attempts_total")
+		s.mPreemptEvict = cfg.Metrics.Counter("sched_preempt_evictions_total")
 		s.mQueueDepth = cfg.Metrics.Gauge("sched_queue_depth")
 		s.mRunning = cfg.Metrics.Gauge("sched_jobs_running")
 	}
@@ -264,12 +287,13 @@ func (s *Simulator) Run(reqs []tracegen.Request, opts Options) (*Result, error) 
 		*j = job{seq: int64(n), req: r, cores: cores, state: slurm.StatePending,
 			eligible: r.Submit, eligNs: r.Submit.UnixNano(), pendIdx: -1, runIdx: -1}
 		sizef := float64(j.cores) / float64(s.cfg.System.TotalCores())
-		j.static = s.cfg.Base + int64(float64(s.cfg.SizeWeight)*sizef)
+		var qosW int64
 		if q, ok := s.qosDefs[r.QOS]; ok {
-			j.static += q.PriorityWeight
+			qosW = q.PriorityWeight
 			j.canPreempt = q.CanPreempt
 			j.preemptible = q.Preemptible
 		}
+		j.static = s.prio.Static(sizef, qosW)
 		u, ok := s.usage[r.User]
 		if !ok {
 			u = &userUsage{asOfNs: r.Submit.UnixNano()}
@@ -473,6 +497,7 @@ func (s *Simulator) releaseNodes(j *job) {
 		return
 	}
 	s.freeCores += j.cores
+	s.sel.Release(j)
 	s.refillReservations()
 }
 
@@ -601,57 +626,32 @@ func (s *Simulator) accrueUsage(j *job) {
 	u.epoch++
 }
 
-// priorityAt computes the multifactor priority for a pending job from
-// scratch. Age accrues from eligibility (held dependents only age once
-// released). The scheduling pass uses the decomposed fast path
-// (job.static + ageTerm + fairTerm); this reference form stays
-// self-contained for record priorities and tests, and the two agree
-// exactly: each term is truncated to int64 separately, and int64 addition
-// is associative.
+// priorityAt computes a pending job's priority from scratch through the
+// priority policy. Age accrues from eligibility (held dependents only age
+// once released). The scheduling pass uses the decomposed fast path
+// (job.static + Age + memoised Fair); this reference form and the fast
+// path agree exactly: each term is truncated to int64 by the policy
+// separately, and int64 addition is associative.
 func (s *Simulator) priorityAt(j *job, t time.Time) int64 {
-	cfg := &s.cfg
-	age := t.Sub(j.eligible)
-	agef := float64(age) / float64(cfg.AgeMax)
-	if agef > 1 {
-		agef = 1
-	}
-	if agef < 0 {
-		agef = 0
-	}
-	sizef := float64(j.cores) / float64(cfg.System.TotalCores())
-	fairf := math.Exp2(-s.decayedUsage(j.req.User, t) / s.share)
+	sizef := float64(j.cores) / float64(s.cfg.System.TotalCores())
 	var qosW int64
 	if q, ok := s.qosDefs[j.req.QOS]; ok {
 		qosW = q.PriorityWeight
 	}
-	return cfg.Base +
-		int64(float64(cfg.AgeWeight)*agef) +
-		int64(float64(cfg.SizeWeight)*sizef) +
-		int64(float64(cfg.FairShareWeight)*fairf) +
-		qosW
-}
-
-// ageTerm computes the age factor's contribution from an age in ns,
-// saturating at AgeMax.
-func (s *Simulator) ageTerm(age int64) int64 {
-	if age <= 0 {
-		return 0
-	}
-	if age >= int64(s.cfg.AgeMax) {
-		return s.ageFull
-	}
-	return int64(float64(s.cfg.AgeWeight) * (float64(age) / float64(s.cfg.AgeMax)))
+	return s.prio.Static(sizef, qosW) +
+		s.prio.Age(int64(t.Sub(j.eligible))) +
+		s.prio.Fair(s.decayedUsage(j.req.User, t))
 }
 
 // fairTerm computes the fair-share contribution for a user at tNs,
-// memoised per (timestamp, accrual epoch) so each pass pays one Exp2 per
-// user rather than one per pending job.
+// memoised per (timestamp, accrual epoch) so each pass pays one policy
+// Fair evaluation (an Exp2 under multifactor) per user rather than one
+// per pending job.
 func (s *Simulator) fairTerm(u *userUsage, tNs int64) int64 {
 	if u.termAtNs == tNs && u.termEpoch == u.epoch {
 		return u.term
 	}
-	f := math.Exp2(-s.decayUser(u, tNs) / s.share)
-	u.term = int64(float64(s.cfg.FairShareWeight) * f)
+	u.term = s.prio.Fair(s.decayUser(u, tNs))
 	u.termAtNs, u.termEpoch = tNs, u.epoch
 	return u.term
 }
@@ -675,7 +675,7 @@ func (s *Simulator) reprioritize(t time.Time, force bool) {
 		// stream over the contiguous entry array alone.
 		for i := range s.pending {
 			e := &s.pending[i]
-			e.prio = e.static + s.ageTerm(tNs-e.eligNs) + s.fairTerm(e.usage, tNs)
+			e.prio = e.static + s.prio.Age(tNs-e.eligNs) + s.fairTerm(e.usage, tNs)
 		}
 		return
 	}
@@ -689,7 +689,7 @@ func (s *Simulator) reprioritize(t time.Time, force bool) {
 			}
 		}
 		age := tNs - e.eligNs
-		e.prio = e.static + s.ageTerm(age) + s.fairTerm(e.usage, tNs)
+		e.prio = e.static + s.prio.Age(age) + s.fairTerm(e.usage, tNs)
 		j.priority = e.prio
 		j.prioAtNs = tNs
 		j.userEpoch = e.usage.epoch
@@ -698,7 +698,7 @@ func (s *Simulator) reprioritize(t time.Time, force bool) {
 }
 
 // schedule runs the reservation pass, the main priority loop (with urgent
-// preemption), and the EASY backfill pass at time t.
+// preemption), and the configured backfill policy's pass at time t.
 func (s *Simulator) schedule(t time.Time) {
 	if s.npending == 0 {
 		return
@@ -722,8 +722,8 @@ func (s *Simulator) schedule(t time.Time) {
 	}
 	s.heapifyPending()
 	head := s.mainPass(t)
-	if head != nil && s.cfg.EnableBackfill && s.npending > 1 {
-		s.backfillPass(head, t)
+	if head != nil && s.npending > 1 {
+		s.bf.Pass(s, head, t)
 	}
 	s.finishPass(head)
 	s.mQueueDepth.Set(int64(s.npending))
@@ -781,58 +781,17 @@ func (s *Simulator) mainPass(t time.Time) *job {
 			s.keep = append(s.keep, j)
 			continue
 		}
-		if j.cores <= s.freeCores {
+		if j.cores <= s.freeCores && s.sel.Fits(j) {
 			s.startJob(j, t, false)
 			continue
 		}
 		// Urgent QoS may evict preemptible work instead of queueing.
-		if j.canPreempt && s.tryPreempt(j, t) {
+		if j.canPreempt && s.tryPreempt(j, t) && s.sel.Fits(j) {
 			s.startJob(j, t, false)
 			continue
 		}
 		return j
 	}
-}
-
-// backfillPass implements EASY backfill: find the shadow time at which the
-// head can start, assuming running jobs end at their walltime limits, then
-// start lower-priority jobs that cannot delay it.
-func (s *Simulator) backfillPass(head *job, t time.Time) {
-	tNs := t.UnixNano()
-	shadowNs, extra := s.shadowTime(head, tNs)
-	free := s.freeCores
-	depth := s.cfg.BackfillDepth
-	if depth == 0 {
-		depth = s.npending
-	}
-	considered := 0
-	for considered < depth {
-		j := s.nextPending()
-		if j == nil {
-			break
-		}
-		if j.res != nil {
-			s.keep = append(s.keep, j)
-			continue
-		}
-		considered++
-		if j.cores > free {
-			s.keep = append(s.keep, j)
-			continue
-		}
-		endsByNs := tNs + int64(j.req.Timelimit)
-		fitsExtra := j.cores <= extra
-		if endsByNs <= shadowNs || fitsExtra {
-			s.startJob(j, t, true)
-			free -= j.cores
-			if endsByNs > shadowNs && fitsExtra {
-				extra -= j.cores
-			}
-			continue
-		}
-		s.keep = append(s.keep, j)
-	}
-	s.mBackfillAtt.Add(int64(considered))
 }
 
 // finishPass returns every examined-but-unstarted job to the pending
@@ -866,6 +825,7 @@ func (s *Simulator) canStartInReservation(j *job, t time.Time) bool {
 // work). Returns false — and evicts nothing — when even evicting every
 // candidate would not free enough nodes.
 func (s *Simulator) tryPreempt(urgent *job, t time.Time) bool {
+	s.mPreemptAtt.Inc()
 	needed := urgent.cores - s.freeCores
 	if needed <= 0 {
 		return true
@@ -906,8 +866,10 @@ func (s *Simulator) tryPreempt(urgent *job, t time.Time) bool {
 // tail of this pass (it re-enters consideration after every job already
 // queued) and the pending array at pass end.
 func (s *Simulator) evict(v *job, t time.Time) {
+	s.mPreemptEvict.Inc()
 	v.gen++ // invalidate the scheduled end event
 	s.freeCores += v.cores
+	s.sel.Release(v)
 	s.runRemove(v)
 	ran := t.Sub(v.start)
 	v.lost += ran
@@ -991,6 +953,7 @@ func (s *Simulator) startJob(j *job, t time.Time, backfill bool) {
 	} else {
 		j.res = nil // window closed between sort and start
 		s.freeCores -= j.cores
+		s.sel.Place(j)
 	}
 	s.runAdd(j)
 

@@ -1,0 +1,470 @@
+// Package tournament races N scheduling-policy configurations over the
+// same workload trace and emits a deterministic comparative scorecard —
+// the quantitative artifact the paper's workflow feeds back to operators
+// (and, in this repo, to the LLM evolution loop) when asking whether a
+// policy change would improve the metrics users feel: queue wait,
+// slowdown, backfill share, utilization.
+//
+// Each policy runs in its own goroutine against a shared immutable
+// request slice (the simulator never mutates its input; it orders via an
+// index permutation), so an N-policy tournament costs one trace
+// generation and N concurrent simulations. Everything in the scorecard
+// except the wall-clock elapsed_ms fields is a pure function of the
+// trace and the policy set: byte-identical across runs, which CI asserts.
+package tournament
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"slurmsight/internal/cluster"
+	"slurmsight/internal/obs"
+	"slurmsight/internal/sched"
+	"slurmsight/internal/tracegen"
+)
+
+// Schema identifies the scorecard JSON layout. Consumers (CI assertions,
+// the evolution loop, EXPERIMENTS.md) match on it; bump it when a field
+// changes meaning, not when fields are added.
+const Schema = "schedbench/v1"
+
+// Spec names one policy configuration in a serialisable form: a weight
+// preset plus overrides. The zero Spec (plus a Name) is the production
+// default composition.
+type Spec struct {
+	Name string `json:"name"`
+	// Preset names a sched.WeightPreset applied before the overrides.
+	Preset string `json:"preset,omitempty"`
+	// Priority / Backfill / NodeSelect override the policy names
+	// resolved by sched.PriorityByName / BackfillByName / SelectorByName.
+	Priority   string `json:"priority,omitempty"`
+	Backfill   string `json:"backfill,omitempty"`
+	NodeSelect string `json:"node_select,omitempty"`
+	// BackfillDepth overrides the pass depth when positive.
+	BackfillDepth int `json:"backfill_depth,omitempty"`
+	// NodeSharing enables sub-node packing.
+	NodeSharing bool `json:"node_sharing,omitempty"`
+	// Weights overrides individual multifactor weights after the preset;
+	// nil fields inherit.
+	Weights *Weights `json:"weights,omitempty"`
+}
+
+// Weights are optional per-factor overrides; nil pointers inherit the
+// preset (or default) value. Pointer fields keep "unset" distinct from
+// zero so the evolution loop can pin a single weight to 0.
+type Weights struct {
+	Base      *int64 `json:"base,omitempty"`
+	Age       *int64 `json:"age,omitempty"`
+	Size      *int64 `json:"size,omitempty"`
+	FairShare *int64 `json:"fair_share,omitempty"`
+}
+
+// Clone returns a deep copy: mutating the clone's weights never touches
+// the original. The evolution loop relies on this to keep per-round audit
+// snapshots independent of the live spec it keeps mutating.
+func (sp Spec) Clone() Spec {
+	if sp.Weights != nil {
+		w := *sp.Weights
+		dup := func(p *int64) *int64 {
+			if p == nil {
+				return nil
+			}
+			v := *p
+			return &v
+		}
+		w.Base, w.Age, w.Size, w.FairShare = dup(w.Base), dup(w.Age), dup(w.Size), dup(w.FairShare)
+		sp.Weights = &w
+	}
+	return sp
+}
+
+// Config materialises the spec against a system: default config, then
+// preset, then overrides, then validation.
+func (sp *Spec) Config(sys *cluster.System, seed int64) (sched.Config, error) {
+	cfg := sched.DefaultConfig(sys)
+	cfg.Seed = seed
+	if sp.Preset != "" {
+		if err := sched.ApplyPreset(&cfg, sp.Preset); err != nil {
+			return cfg, fmt.Errorf("spec %q: %w", sp.Name, err)
+		}
+	}
+	if sp.Priority != "" {
+		cfg.Priority = sp.Priority
+	}
+	if sp.Backfill != "" {
+		cfg.Backfill = sp.Backfill
+	}
+	if sp.NodeSelect != "" {
+		cfg.NodeSelect = sp.NodeSelect
+	}
+	if sp.BackfillDepth > 0 {
+		cfg.BackfillDepth = sp.BackfillDepth
+	}
+	cfg.EnableNodeSharing = sp.NodeSharing
+	if w := sp.Weights; w != nil {
+		if w.Base != nil {
+			cfg.Base = *w.Base
+		}
+		if w.Age != nil {
+			cfg.AgeWeight = *w.Age
+		}
+		if w.Size != nil {
+			cfg.SizeWeight = *w.Size
+		}
+		if w.FairShare != nil {
+			cfg.FairShareWeight = *w.FairShare
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, fmt.Errorf("spec %q: %w", sp.Name, err)
+	}
+	return cfg, nil
+}
+
+// Scorecard is the stable-schema comparison artifact.
+type Scorecard struct {
+	Schema   string        `json:"schema"`
+	Trace    TraceInfo     `json:"trace"`
+	Policies []PolicyScore `json:"policies"`
+	// ElapsedMS is the tournament wall-clock; the one non-deterministic
+	// field at this level (CI strips elapsed_ms before diffing runs).
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// TraceInfo pins the workload the policies were compared on.
+type TraceInfo struct {
+	System   string `json:"system"`
+	Requests int    `json:"requests"`
+	Seed     int64  `json:"seed"`
+}
+
+// PolicyScore is one policy's outcome on the shared trace.
+type PolicyScore struct {
+	Name string `json:"name"`
+	Spec Spec   `json:"spec"`
+
+	Completed   int     `json:"completed"`
+	Failed      int     `json:"failed"`
+	Cancelled   int     `json:"cancelled"`
+	Timeout     int     `json:"timeout"`
+	Started     int     `json:"started"`
+	Backfilled  int     `json:"backfilled"`
+	Preemptions int     `json:"preemptions"`
+	Utilization float64 `json:"utilization"`
+
+	MeanWaitSec  float64 `json:"mean_wait_sec"`
+	MaxWaitSec   float64 `json:"max_wait_sec"`
+	BackfillFrac float64 `json:"backfill_frac"`
+	// MeanSlowdown is the mean bounded slowdown (wait+run)/max(run, 10s)
+	// across started jobs — the classic scheduling-quality metric that
+	// punishes long waits on short jobs.
+	MeanSlowdown float64 `json:"mean_slowdown"`
+
+	// Classes breaks the same metrics out per tracegen job class
+	// (Record.Comment), sorted by class name.
+	Classes []ClassScore `json:"classes"`
+
+	// ElapsedMS is this policy's simulation wall-clock (excluded from
+	// determinism comparisons).
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// ClassScore is one job class under one policy.
+type ClassScore struct {
+	Class        string  `json:"class"`
+	Jobs         int     `json:"jobs"`
+	Started      int     `json:"started"`
+	WaitP50Sec   float64 `json:"wait_p50_sec"`
+	WaitP90Sec   float64 `json:"wait_p90_sec"`
+	WaitMeanSec  float64 `json:"wait_mean_sec"`
+	MeanSlowdown float64 `json:"mean_slowdown"`
+	BackfillFrac float64 `json:"backfill_frac"`
+}
+
+// Input configures a tournament run.
+type Input struct {
+	Specs  []Spec
+	Reqs   []tracegen.Request // shared read-only across policies
+	System *cluster.System
+	Seed   int64
+
+	// Metrics, when non-nil, receives each policy's simulator counters
+	// re-published under policy-labelled names (obs.Label), plus the
+	// tournament's own instruments. Tracer, when non-nil, records one
+	// span per policy run.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
+}
+
+// Run races every spec concurrently over the shared trace and returns
+// the scorecard. The policy order in the scorecard follows the spec
+// order; all metric content is deterministic for a given (trace, specs).
+func Run(in Input) (*Scorecard, error) {
+	if len(in.Specs) == 0 {
+		return nil, fmt.Errorf("tournament: no specs")
+	}
+	if len(in.Reqs) == 0 {
+		return nil, fmt.Errorf("tournament: no requests")
+	}
+	seen := map[string]bool{}
+	for i := range in.Specs {
+		name := in.Specs[i].Name
+		if name == "" {
+			return nil, fmt.Errorf("tournament: spec %d needs a name", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("tournament: duplicate spec name %q", name)
+		}
+		seen[name] = true
+		// Validate every spec up front so one bad config fails fast
+		// instead of racing N−1 healthy policies first.
+		if _, err := in.Specs[i].Config(in.System, in.Seed); err != nil {
+			return nil, err
+		}
+	}
+
+	t0 := time.Now()
+	root := in.Tracer.Start("tournament.run")
+	root.SetAttrInt("policies", int64(len(in.Specs)))
+	root.SetAttrInt("requests", int64(len(in.Reqs)))
+	defer root.End()
+
+	scores := make([]PolicyScore, len(in.Specs))
+	errs := make([]error, len(in.Specs))
+	var wg sync.WaitGroup
+	for i := range in.Specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scores[i], errs[i] = runOne(&in, &in.Specs[i], root)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("tournament: policy %q: %w", in.Specs[i].Name, err)
+		}
+	}
+
+	in.Metrics.Counter("schedbench_tournaments_total").Inc()
+	return &Scorecard{
+		Schema: Schema,
+		Trace: TraceInfo{
+			System:   in.System.Name,
+			Requests: len(in.Reqs),
+			Seed:     in.Seed,
+		},
+		Policies:  scores,
+		ElapsedMS: time.Since(t0).Milliseconds(),
+	}, nil
+}
+
+// runOne simulates a single policy and scores its result.
+func runOne(in *Input, sp *Spec, parent *obs.Span) (PolicyScore, error) {
+	span := parent.Child("tournament.policy")
+	span.SetAttr("policy", sp.Name)
+	defer span.End()
+
+	cfg, err := sp.Config(in.System, in.Seed)
+	if err != nil {
+		return PolicyScore{}, err
+	}
+	// Each policy gets a private registry; the shared one receives the
+	// values after the run under policy-labelled names, so concurrent
+	// policies never contend and labels stay unambiguous.
+	var priv *obs.Registry
+	if in.Metrics != nil {
+		priv = obs.NewRegistry()
+	}
+	cfg.Metrics = priv
+
+	sim, err := sched.New(cfg)
+	if err != nil {
+		return PolicyScore{}, err
+	}
+	t0 := time.Now()
+	res, err := sim.Run(in.Reqs, sched.Options{})
+	if err != nil {
+		return PolicyScore{}, err
+	}
+	elapsed := time.Since(t0)
+	span.SetAttrInt("jobs", int64(len(res.Jobs)))
+	span.SetAttrInt("completed", int64(res.Stats.JobsCompleted))
+
+	if priv != nil {
+		republish(in.Metrics, priv, sp.Name)
+	}
+
+	ps := score(res, sp)
+	ps.ElapsedMS = elapsed.Milliseconds()
+	return ps, nil
+}
+
+// republish copies a policy's private counters and gauges into the
+// shared registry under policy-labelled names. Snapshot flattens both to
+// int64; the _total naming convention recovers the instrument kind.
+func republish(dst, src *obs.Registry, policy string) {
+	for name, v := range src.Snapshot() {
+		val, ok := v.(int64)
+		if !ok {
+			continue
+		}
+		labelled := obs.Label(name, "policy", policy)
+		if strings.HasSuffix(name, "_total") {
+			dst.Counter(labelled).Add(val)
+		} else {
+			dst.Gauge(labelled).Set(val)
+		}
+	}
+}
+
+// score reduces a simulation result to the scorecard row. All float math
+// is a deterministic function of the records.
+func score(res *sched.Result, sp *Spec) PolicyScore {
+	st := res.Stats
+	ps := PolicyScore{
+		Name:        sp.Name,
+		Spec:        *sp,
+		Completed:   st.JobsCompleted,
+		Failed:      st.JobsFailed,
+		Cancelled:   st.JobsCancelled,
+		Timeout:     st.JobsTimeout,
+		Backfilled:  st.Backfilled,
+		Preemptions: st.Preemptions,
+		Utilization: st.Utilization(),
+		MaxWaitSec:  st.MaxWait.Seconds(),
+	}
+
+	type agg struct {
+		jobs, started, backfilled int
+		waits                     []float64
+		slowSum                   float64
+	}
+	classes := map[string]*agg{}
+	var total agg
+	for i := range res.Jobs {
+		r := &res.Jobs[i]
+		class := r.Comment
+		if class == "" {
+			class = "unclassified"
+		}
+		a := classes[class]
+		if a == nil {
+			a = &agg{}
+			classes[class] = a
+		}
+		a.jobs++
+		total.jobs++
+		wait, ok := r.WaitTime()
+		if !ok {
+			continue // never started
+		}
+		a.started++
+		total.started++
+		if r.Backfilled() {
+			a.backfilled++
+			total.backfilled++
+		}
+		w := wait.Seconds()
+		a.waits = append(a.waits, w)
+		total.waits = append(total.waits, w)
+		sd := boundedSlowdown(wait, r.Elapsed)
+		a.slowSum += sd
+		total.slowSum += sd
+	}
+
+	ps.Started = total.started
+	if total.started > 0 {
+		ps.MeanWaitSec = mean(total.waits)
+		ps.MeanSlowdown = total.slowSum / float64(total.started)
+		ps.BackfillFrac = float64(total.backfilled) / float64(total.started)
+	}
+
+	names := make([]string, 0, len(classes))
+	for name := range classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := classes[name]
+		cs := ClassScore{Class: name, Jobs: a.jobs, Started: a.started}
+		if a.started > 0 {
+			sort.Float64s(a.waits)
+			cs.WaitP50Sec = percentile(a.waits, 0.50)
+			cs.WaitP90Sec = percentile(a.waits, 0.90)
+			cs.WaitMeanSec = mean(a.waits)
+			cs.MeanSlowdown = a.slowSum / float64(a.started)
+			cs.BackfillFrac = float64(a.backfilled) / float64(a.started)
+		}
+		ps.Classes = append(ps.Classes, cs)
+	}
+	return ps
+}
+
+// boundedSlowdown is (wait + run) / max(run, 10s): the standard bounded
+// slowdown with a 10-second floor so near-zero-runtime jobs don't blow
+// the metric up.
+func boundedSlowdown(wait, run time.Duration) float64 {
+	const floor = 10 * time.Second
+	denom := run
+	if denom < floor {
+		denom = floor
+	}
+	return (wait + run).Seconds() / denom.Seconds()
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// percentile reads the q-th percentile from an ascending-sorted slice
+// using the nearest-rank method (deterministic, no interpolation).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// EncodeJSON renders the scorecard with stable key order and trailing
+// newline — the bytes CI diffs between runs (minus elapsed_ms).
+func (sc *Scorecard) EncodeJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DefaultSpecs is the standard tournament field: the production default,
+// the named weight presets, the conservative-backfill and no-backfill
+// contrasts, and the FIFO baseline.
+func DefaultSpecs() []Spec {
+	return []Spec{
+		{Name: "default"},
+		{Name: "capability", Preset: "capability"},
+		{Name: "aging", Preset: "aging"},
+		{Name: "fairshare", Preset: "fairshare"},
+		{Name: "fifo", Preset: "fifo"},
+		{Name: "conservative", Backfill: "conservative"},
+		{Name: "no-backfill", Backfill: "none"},
+	}
+}
