@@ -1,5 +1,6 @@
 // Command dashboard serves a workflow output directory as an interactive
-// dashboard.
+// dashboard, with the standard operational surface alongside it:
+// /metrics, /debug/vars, /debug/requests, and /debug/pprof/.
 //
 // Example:
 //
@@ -10,10 +11,13 @@ import (
 	"context"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"time"
 
 	"slurmsight/internal/dashboard"
+	"slurmsight/internal/obs"
 	"slurmsight/internal/serve"
 )
 
@@ -25,6 +29,10 @@ func main() {
 		dir   = flag.String("dir", "out", "workflow output directory to serve")
 		addr  = flag.String("addr", ":8080", "listen address")
 		grace = flag.Duration("grace", 5*time.Second, "shutdown drain budget for in-flight requests")
+
+		slow       = flag.Duration("slow", 250*time.Millisecond, "log requests slower than this (0 disables the slow log)")
+		flightRing = flag.Int("flight-ring", 256, "flight recorder: recent traces retained (negative disables recording)")
+		flightTail = flag.Int("flight-tail", 8, "flight recorder: slowest traces kept per route")
 	)
 	flag.Parse()
 
@@ -32,10 +40,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	metrics := obs.NewRegistry()
+	metrics.PublishExpvar("dashboard")
+	recorder := obs.NewRecorder(*flightRing, *flightTail)
+	if *flightRing < 0 {
+		recorder = nil
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.Middleware{
+		Registry:      metrics,
+		Prefix:        "dashboard",
+		Recorder:      recorder,
+		SlowThreshold: *slow,
+		Log:           slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+	}.Wrap(srv.Handler()))
+	serve.MountDebug(mux, metrics, recorder)
+
 	log.Printf("serving %s on %s", *dir, *addr)
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	if err := serve.ListenAndDrain(context.Background(), httpServer, *grace, log.Printf); err != nil {

@@ -13,18 +13,19 @@
 //	  -fault-429 0.2 -fault-500 0.1 -fault-stall 0.05 -fault-seed 7
 //
 // The server exposes its own operational surface alongside the API:
-// Prometheus-style counters at /metrics, expvar at /debug/vars, and the
-// standard pprof profiles under /debug/pprof/. SIGINT/SIGTERM drain
-// in-flight requests before exit (-grace bounds the drain).
+// Prometheus-style counters at /metrics, expvar at /debug/vars, the
+// flight recorder at /debug/requests, and the standard pprof profiles
+// under /debug/pprof/. SIGINT/SIGTERM drain in-flight requests before
+// exit (-grace bounds the drain).
 package main
 
 import (
 	"context"
-	"expvar"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
-	"net/http/pprof"
+	"os"
 	"time"
 
 	"slurmsight/internal/obs"
@@ -48,6 +49,10 @@ func main() {
 		stallFor   = flag.Duration("fault-stall-for", 2*time.Second, "how long a stalled response hangs")
 		retryAfter = flag.Duration("fault-retry-after", time.Second, "Retry-After hint on injected 429s")
 		faultSeed  = flag.Int64("fault-seed", 1, "seed for the fault schedule")
+
+		slow       = flag.Duration("slow", 250*time.Millisecond, "log requests slower than this (0 disables the slow log)")
+		flightRing = flag.Int("flight-ring", 256, "flight recorder: recent traces retained (negative disables recording)")
+		flightTail = flag.Int("flight-tail", 8, "flight recorder: slowest traces kept per route")
 	)
 	flag.Parse()
 
@@ -73,15 +78,19 @@ func main() {
 	// exactly as clients see them.
 	metrics := obs.NewRegistry()
 	metrics.PublishExpvar("llmserve")
+	recorder := obs.NewRecorder(*flightRing, *flightTail)
+	if *flightRing < 0 {
+		recorder = nil
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/", serve.Instrument(metrics, "llmserve", handler))
-	mux.Handle("/metrics", metrics.Handler())
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", serve.Middleware{
+		Registry:      metrics,
+		Prefix:        "llmserve",
+		Recorder:      recorder,
+		SlowThreshold: *slow,
+		Log:           slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+	}.Wrap(handler))
+	serve.MountDebug(mux, metrics, recorder)
 
 	httpServer := &http.Server{
 		Addr:              *addr,

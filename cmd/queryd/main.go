@@ -12,7 +12,7 @@
 //	GET  /query?fields=JobID,User&start=2024-01&end=2024-02&limit=100
 //	POST /ingest            (pipe-text or columnar batch in the body)
 //	GET  /figures/fig4-wait-times.json
-//	GET  /healthz  /metrics  /debug/vars  /debug/pprof/
+//	GET  /healthz  /metrics  /debug/vars  /debug/pprof/  /debug/requests
 //
 // Appends arrive two ways: POST /ingest batches, and -watch, which
 // tails a growing period file the way an accounting host writes one.
@@ -29,7 +29,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"time"
 
 	"slurmsight/internal/obs"
@@ -58,6 +60,10 @@ func main() {
 		watch         = flag.String("watch", "", "pipe-text period file to tail for appends")
 		watchInterval = flag.Duration("watch-interval", 2*time.Second, "tail poll period")
 		grace         = flag.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
+
+		slow       = flag.Duration("slow", 250*time.Millisecond, "log requests slower than this (0 disables the slow log)")
+		flightRing = flag.Int("flight-ring", 256, "flight recorder: recent traces retained (negative disables recording)")
+		flightTail = flag.Int("flight-tail", 8, "flight recorder: slowest traces kept per route")
 	)
 	flag.Parse()
 
@@ -76,17 +82,25 @@ func main() {
 
 	metrics := obs.NewRegistry()
 	metrics.PublishExpvar("queryd")
+	slowThreshold := *slow
+	if slowThreshold == 0 {
+		slowThreshold = -1 // flag 0 means off; Config 0 means default
+	}
 	srv, err := serve.New(serve.Config{
-		Store:        st,
-		System:       *system,
-		Metrics:      metrics,
-		RatePerSec:   *rate,
-		Burst:        *burst,
-		CacheEntries: *cacheN,
-		MaxRows:      *maxRows,
-		TopUsers:     *topUsers,
-		Nodes:        *nodes,
-		Logf:         log.Printf,
+		Store:         st,
+		System:        *system,
+		Metrics:       metrics,
+		RatePerSec:    *rate,
+		Burst:         *burst,
+		CacheEntries:  *cacheN,
+		MaxRows:       *maxRows,
+		TopUsers:      *topUsers,
+		Nodes:         *nodes,
+		FlightRing:    *flightRing,
+		FlightTail:    *flightTail,
+		SlowThreshold: slowThreshold,
+		Log:           slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+		Logf:          log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -8,6 +8,12 @@
 // process, no setup. Point -url at an external queryd to load that
 // instead.
 //
+// -obs-compare measures the cost of the observability layer itself: it
+// runs the same load twice against two self-hosted servers — flight
+// recorder and slow log off, then on — and reports the throughput and
+// latency deltas, so a tracing regression shows up as a number instead
+// of a hunch.
+//
 // Example:
 //
 //	queryload -trace traces/frontier.colstore -clients 1000 -duration 15s \
@@ -21,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -53,64 +60,204 @@ func main() {
 		appendEvery = flag.Duration("append-every", time.Second, "live-append cadence (0 disables)")
 		appendRows  = flag.Int("append-rows", 200, "rows per live append")
 
-		rate   = flag.Float64("rate", 0, "self-hosted per-client throttle (0 disables)")
-		cacheN = flag.Int("cache", 1024, "self-hosted response cache entries")
-		out    = flag.String("json", "BENCH_serve.json", "result path (empty prints to stdout)")
+		rate      = flag.Float64("rate", 0, "self-hosted per-client throttle (0 disables)")
+		cacheN    = flag.Int("cache", 1024, "self-hosted response cache entries")
+		flightRec = flag.Bool("flight-recorder", true, "self-hosted flight recorder + per-request tracing")
+		compare   = flag.Bool("obs-compare", false,
+			"run the load twice (tracing off, then on) against self-hosted servers and report the overhead")
+		out = flag.String("json", "BENCH_serve.json", "result path (empty prints to stdout)")
 	)
 	flag.Parse()
 
-	base := *url
+	lc := loadCfg{
+		clients:     *clients,
+		duration:    *duration,
+		limit:       *limit,
+		figures:     *figures,
+		appendEvery: *appendEvery,
+		appendRows:  *appendRows,
+	}
+
+	if *compare {
+		if *trace == "" {
+			log.Fatal("-obs-compare needs -trace (it self-hosts both phases)")
+		}
+		runCompare(*trace, *rate, *cacheN, lc, *out)
+		return
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	base := *url
 	if base == "" {
 		if *trace == "" {
 			log.Fatal("need -trace (to self-host) or -url (external queryd)")
 		}
-		st, _, err := sacct.OpenFile(*trace)
-		if err != nil {
-			log.Fatal(err)
-		}
+		st := openWarm(*trace)
 		defer st.Close()
-		// Warm so the measurement exercises serving, not first-touch
-		// shard decodes: an always-on queryd pays this once at boot.
-		tWarm := time.Now()
-		if err := st.Warm(); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("warmed %d rows in %s", st.Len(), time.Since(tWarm).Round(time.Millisecond))
-		srv, err := serve.New(serve.Config{
-			Store:        st,
-			System:       "bench",
-			Metrics:      obs.NewRegistry(),
-			RatePerSec:   *rate,
-			CacheEntries: *cacheN,
-		})
+		b, err := selfHost(ctx, st, *rate, *cacheN, *flightRec)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		httpServer := &http.Server{Handler: srv.Handler()}
-		go serve.Drain(ctx, httpServer, ln, 5*time.Second, nil)
-		base = "http://" + ln.Addr().String()
+		base = b
 		log.Printf("self-hosting %s (%d rows) on %s", *trace, st.Len(), base)
 	}
 
-	transport := &http.Transport{
-		MaxIdleConns:        4 * *clients,
-		MaxIdleConnsPerHost: 4 * *clients,
+	client := newLoadClient(*clients)
+	result, sum := drive(client, base, lc)
+	writeResult(result, *out)
+	log.Printf("%d requests (%.0f/s), p50 %.1fms p99 %.1fms, cache hit rate %.2f, %d throttled, %d errors",
+		sum.requests, sum.qps, sum.p50, sum.p99, sum.hitRate, sum.throttled, sum.errors)
+	if sum.errors > 0 {
+		os.Exit(1)
 	}
-	client := &http.Client{Transport: transport, Timeout: 60 * time.Second}
+}
 
+// runCompare drives the identical load against two self-hosted servers
+// over the same warmed store — observability off, then on — and writes
+// one result (the instrumented phase, in the usual schema) whose
+// obs_overhead section carries the baseline and the deltas. The live
+// appender runs in both phases, so the comparison covers the
+// invalidation churn a real queryd sees.
+func runCompare(trace string, rate float64, cacheN int, lc loadCfg, out string) {
+	st := openWarm(trace)
+	defer st.Close()
+	client := newLoadClient(lc.clients)
+
+	phase := func(instrumented bool) (map[string]any, summary) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		base, err := selfHost(ctx, st, rate, cacheN, instrumented)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "baseline (tracing off)"
+		if instrumented {
+			mode = "instrumented (tracing on)"
+		}
+		log.Printf("phase %s on %s", mode, base)
+		return drive(client, base, lc)
+	}
+
+	baseRes, baseSum := phase(false)
+	instRes, instSum := phase(true)
+
+	// Overhead as the instrumented slowdown in percent: positive means
+	// tracing costs something, negative means noise won the round.
+	pct := func(instrumented, baseline float64) float64 {
+		if baseline == 0 {
+			return 0
+		}
+		return round2((instrumented - baseline) / baseline * 100)
+	}
+	qpsLoss := 0.0
+	if baseSum.qps > 0 {
+		qpsLoss = round2((1 - instSum.qps/baseSum.qps) * 100)
+	}
+	result := instRes
+	result["obs_overhead"] = map[string]any{
+		"baseline":         baseRes,
+		"qps_baseline":     round2(baseSum.qps),
+		"qps_instrumented": round2(instSum.qps),
+		"qps_loss_pct":     qpsLoss,
+		"p50_overhead_pct": pct(instSum.p50, baseSum.p50),
+		"p99_overhead_pct": pct(instSum.p99, baseSum.p99),
+	}
+	writeResult(result, out)
+	log.Printf("overhead: qps %.0f -> %.0f (%.2f%% loss), p50 %.3fms -> %.3fms (%+.2f%%), p99 %.3fms -> %.3fms (%+.2f%%)",
+		baseSum.qps, instSum.qps, (1-instSum.qps/baseSum.qps)*100,
+		baseSum.p50, instSum.p50, pct(instSum.p50, baseSum.p50),
+		baseSum.p99, instSum.p99, pct(instSum.p99, baseSum.p99))
+	if baseSum.errors+instSum.errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// openWarm opens a trace and materialises every shard so measurements
+// exercise serving, not first-touch decodes — an always-on queryd pays
+// that once at boot.
+func openWarm(trace string) *sacct.Store {
+	st, _, err := sacct.OpenFile(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tWarm := time.Now()
+	if err := st.Warm(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("warmed %d rows in %s", st.Len(), time.Since(tWarm).Round(time.Millisecond))
+	return st
+}
+
+// selfHost mounts a serve.Server over st on a loopback listener and
+// returns its base URL. instrumented toggles the whole tracing layer:
+// flight recorder plus a slow log swallowed by io.Discard, so the
+// measured cost is the instrumentation, not terminal I/O.
+func selfHost(ctx context.Context, st *sacct.Store, rate float64, cacheN int, instrumented bool) (string, error) {
+	cfg := serve.Config{
+		Store:        st,
+		System:       "bench",
+		Metrics:      obs.NewRegistry(),
+		RatePerSec:   rate,
+		CacheEntries: cacheN,
+	}
+	if instrumented {
+		cfg.Log = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	} else {
+		cfg.FlightRing = -1
+		cfg.SlowThreshold = -1
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	httpServer := &http.Server{Handler: srv.Handler()}
+	go serve.Drain(ctx, httpServer, ln, 5*time.Second, nil)
+	return "http://" + ln.Addr().String(), nil
+}
+
+func newLoadClient(clients int) *http.Client {
+	transport := &http.Transport{
+		MaxIdleConns:        4 * clients,
+		MaxIdleConnsPerHost: 4 * clients,
+	}
+	return &http.Client{Transport: transport, Timeout: 60 * time.Second}
+}
+
+// loadCfg is one load phase: how many clients, for how long, against
+// what request mix.
+type loadCfg struct {
+	clients, limit int
+	duration       time.Duration
+	figures        bool
+	appendEvery    time.Duration
+	appendRows     int
+}
+
+// summary is the phase digest used for logging and overhead math.
+type summary struct {
+	requests  int64
+	qps       float64
+	p50, p99  float64
+	hitRate   float64
+	throttled int64
+	errors    int64
+}
+
+// drive runs one load phase against base and returns the full result
+// map (the BENCH_serve.json shape) plus its digest.
+func drive(client *http.Client, base string, lc loadCfg) (map[string]any, summary) {
 	health, err := fetchHealth(client, base)
 	if err != nil {
 		log.Fatalf("healthz: %v", err)
 	}
 	months := queryMonths(client, base)
 	log.Printf("target holds %.0f rows, generation %.0f; driving %d clients for %s",
-		health["rows"], health["generation"], *clients, *duration)
+		health["rows"], health["generation"], lc.clients, lc.duration)
 
 	reg := obs.NewRegistry()
 	latHist := reg.Histogram("queryload_request_seconds", obs.LatencyBuckets)
@@ -120,15 +267,15 @@ func main() {
 		samplesMu                        sync.Mutex
 		samples                          []float64
 	)
-	deadline := time.Now().Add(*duration)
+	deadline := time.Now().Add(lc.duration)
 	var wg sync.WaitGroup
-	for i := 0; i < *clients; i++ {
+	for i := 0; i < lc.clients; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			local := make([]float64, 0, 1024)
 			for iter := 0; time.Now().Before(deadline); iter++ {
-				u := pickQuery(base, id, iter, months, *limit, *figures)
+				u := pickQuery(base, id, iter, months, lc.limit, lc.figures)
 				t0 := time.Now()
 				status, err := get(client, u, "c"+strconv.Itoa(id))
 				dt := time.Since(t0)
@@ -154,12 +301,12 @@ func main() {
 	// batch lands in a synthetic future month, and after every
 	// acknowledged append a window query over that month must show
 	// all rows appended so far — the generation proof.
-	app := &appender{client: client, base: base, rows: *appendRows}
-	if *appendEvery > 0 {
+	app := &appender{client: client, base: base, rows: lc.appendRows}
+	if lc.appendEvery > 0 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			app.run(deadline, *appendEvery)
+			app.run(deadline, lc.appendEvery)
 		}()
 	}
 	t0 := time.Now()
@@ -171,7 +318,7 @@ func main() {
 	cache := parseCache(metricsText)
 	result := map[string]any{
 		"target":     base,
-		"clients":    *clients,
+		"clients":    lc.clients,
 		"duration_s": round2(elapsed.Seconds()),
 		"requests":   requests.Load(),
 		"qps":        round2(float64(requests.Load()) / elapsed.Seconds()),
@@ -201,26 +348,31 @@ func main() {
 		log.Printf("WARNING: %d generation-proof failures (appended rows not visible to a follow-up query)",
 			app.proofFailures.Load())
 	}
+	return result, summary{
+		requests:  requests.Load(),
+		qps:       float64(requests.Load()) / elapsed.Seconds(),
+		p50:       percentile(samples, 50),
+		p99:       percentile(samples, 99),
+		hitRate:   cache["hit_rate"].(float64),
+		throttled: errors429.Load(),
+		errors:    errorsOther.Load(),
+	}
+}
+
+func writeResult(result map[string]any, out string) {
 	blob, err := json.MarshalIndent(result, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	blob = append(blob, '\n')
-	if *out == "" {
+	if out == "" {
 		os.Stdout.Write(blob)
-	} else {
-		if err := os.WriteFile(*out, blob, 0o644); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("wrote %s", *out)
+		return
 	}
-	log.Printf("%d requests (%.0f/s), p50 %.1fms p99 %.1fms, cache hit rate %.2f, %d throttled, %d errors",
-		requests.Load(), float64(requests.Load())/elapsed.Seconds(),
-		percentile(samples, 50), percentile(samples, 99),
-		cache["hit_rate"].(float64), errors429.Load(), errorsOther.Load())
-	if n := errorsOther.Load(); n > 0 {
-		os.Exit(1)
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		log.Fatal(err)
 	}
+	log.Printf("wrote %s", out)
 }
 
 // pickQuery spreads clients across a realistic mix: repeated canonical

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -171,11 +172,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		mux := http.NewServeMux()
-		mux.Handle("/", srv.Handler())
-		if metrics != nil {
-			mux.Handle("/metrics", metrics.Handler())
+		if metrics == nil {
+			metrics = obs.NewRegistry()
 		}
+		recorder := obs.NewRecorder(0, 0)
+		mux := http.NewServeMux()
+		mux.Handle("/", srvpkg.Middleware{
+			Registry:      metrics,
+			Prefix:        "schedflow",
+			Recorder:      recorder,
+			SlowThreshold: 250 * time.Millisecond,
+			Log:           slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+		}.Wrap(srv.Handler()))
+		srvpkg.MountDebug(mux, metrics, recorder)
 		log.Printf("serving dashboard on %s", *serve)
 		httpServer := &http.Server{
 			Addr:              *serve,

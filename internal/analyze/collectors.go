@@ -1,6 +1,7 @@
 package analyze
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -22,7 +23,35 @@ type Collector interface {
 // figure-on-demand path: one scan produces every figure's aggregation.
 // bucket sets the timeline resolution (≤ 0 defaults to one hour).
 func Collect(seq slurm.RecordSeq, bucket time.Duration) (*Bundle, error) {
+	return CollectCtx(context.Background(), seq, bucket)
+}
+
+// CollectCtx is Collect under a request context: when ctx carries an
+// active obs span, the pass reports itself as an "analyze-collect"
+// child span carrying the observed row count — the serving plane's
+// per-request attribution for figure recomputation cost.
+func CollectCtx(ctx context.Context, seq slurm.RecordSeq, bucket time.Duration) (*Bundle, error) {
 	b := NewBundle(bucket)
+	if sp := obs.SpanFromContext(ctx).Child("analyze-collect"); sp != nil {
+		var rows int64
+		counted := slurm.RecordSeq(func(yield func(*slurm.Record, error) bool) {
+			seq(func(r *slurm.Record, err error) bool {
+				if err == nil {
+					rows++
+				}
+				return yield(r, err)
+			})
+		})
+		err := FanOut(counted, b)
+		sp.SetAttrInt("rows", rows)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
+			return nil, err
+		}
+		sp.End()
+		return b, nil
+	}
 	if err := FanOut(seq, b); err != nil {
 		return nil, err
 	}

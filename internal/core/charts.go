@@ -9,12 +9,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"time"
 
 	"slurmsight/internal/analyze"
+	"slurmsight/internal/obs"
 	"slurmsight/internal/plot"
 	"slurmsight/internal/slurm"
 )
@@ -231,6 +233,18 @@ const TimelineBucket = timelineBucket
 // Figure 5 user list; capacityNodes draws the load-timeline reference
 // line when positive. Unknown keys error.
 func ChartFromBundle(key, system string, b *analyze.Bundle, topUsers, capacityNodes int) (*plot.Chart, error) {
+	return ChartFromBundleCtx(context.Background(), key, system, b, topUsers, capacityNodes)
+}
+
+// ChartFromBundleCtx is ChartFromBundle under a request context: when
+// ctx carries an active obs span, the render reports itself as a
+// "figure-render" child span tagged with the figure key, completing the
+// serving plane's per-request stage decomposition.
+func ChartFromBundleCtx(ctx context.Context, key, system string, b *analyze.Bundle, topUsers, capacityNodes int) (*plot.Chart, error) {
+	if sp := obs.SpanFromContext(ctx).Child("figure-render"); sp != nil {
+		sp.SetAttr("figure", key)
+		defer sp.End()
+	}
 	switch key {
 	case FigVolume:
 		return VolumeChartPoints(system, b.Volume.Result()), nil

@@ -161,6 +161,13 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	hooks    []scrapeHook
+}
+
+// scrapeHook is one named sampler run before every exposition.
+type scrapeHook struct {
+	name string
+	f    func()
 }
 
 // NewRegistry returns an empty registry.
@@ -220,6 +227,42 @@ func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
 	return h
 }
 
+// OnScrape registers a sampler that runs immediately before every
+// exposition (WriteText, Snapshot): the hook point for metrics that are
+// cheaper to read on demand than to push continuously (runtime stats,
+// mapped-file sizes). Hooks are keyed by name — registering the same
+// name again replaces the old hook, so wiring a collector twice is
+// idempotent. Hooks run without the registry lock held; they typically
+// Set gauges captured at registration time.
+func (r *Registry) OnScrape(name string, f func()) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.hooks {
+		if r.hooks[i].name == name {
+			r.hooks[i].f = f
+			return
+		}
+	}
+	r.hooks = append(r.hooks, scrapeHook{name: name, f: f})
+}
+
+// scrape runs the registered samplers in registration order.
+func (r *Registry) scrape() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	hooks := make([]scrapeHook, len(r.hooks))
+	copy(hooks, r.hooks)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h.f()
+	}
+}
+
 // WriteText renders every instrument in the plain-text exposition
 // format (Prometheus 0.0.4 compatible): counters and gauges as single
 // samples, histograms as cumulative le-buckets plus _sum and _count.
@@ -228,6 +271,7 @@ func (r *Registry) WriteText(w io.Writer) {
 	if r == nil {
 		return
 	}
+	r.scrape()
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {
@@ -295,11 +339,15 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // Snapshot returns the registry's state as plain values, suitable for
-// JSON rendering (histograms appear as {count, sum}).
+// JSON rendering. Histograms appear as {count, sum, buckets} where
+// buckets is the full non-cumulative layout ({le, count} pairs ending
+// at +Inf) — the committed bench JSONs carry real latency distributions,
+// not just averages.
 func (r *Registry) Snapshot() map[string]any {
 	if r == nil {
 		return nil
 	}
+	r.scrape()
 	out := map[string]any{}
 	r.mu.Lock()
 	for name, c := range r.counters {
@@ -309,7 +357,15 @@ func (r *Registry) Snapshot() map[string]any {
 		out[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		out[name] = map[string]any{"count": h.Count(), "sum": h.Sum()}
+		buckets := make([]map[string]any, 0, len(h.counts))
+		for i, n := range h.Buckets() {
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+			}
+			buckets = append(buckets, map[string]any{"le": le, "count": n})
+		}
+		out[name] = map[string]any{"count": h.Count(), "sum": h.Sum(), "buckets": buckets}
 	}
 	r.mu.Unlock()
 	return out

@@ -1,0 +1,44 @@
+package obs
+
+import "runtime"
+
+// PublishRuntime registers the process-health collector on a registry:
+// goroutine count, heap shape, and cumulative GC cost, sampled lazily
+// on every scrape (a /metrics poll or a Snapshot) rather than on a
+// timer, so an idle server pays nothing between scrapes. Registration
+// is idempotent — every serving binary calls this through its shared
+// debug mount, and calling twice just replaces the hook.
+//
+// Metrics (all gauges; the *_total names are cumulative values sampled
+// from the runtime, monotone as long as the process lives):
+//
+//	runtime_goroutines            live goroutine count
+//	runtime_heap_alloc_bytes      live heap objects
+//	runtime_heap_inuse_bytes      heap spans in use
+//	runtime_heap_sys_bytes        heap memory obtained from the OS
+//	runtime_gc_pause_ns_total     cumulative stop-the-world pause time
+//	runtime_gc_cycles_total       completed GC cycles
+//	runtime_next_gc_bytes         heap target for the next cycle
+func PublishRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	goroutines := r.Gauge("runtime_goroutines")
+	heapAlloc := r.Gauge("runtime_heap_alloc_bytes")
+	heapInuse := r.Gauge("runtime_heap_inuse_bytes")
+	heapSys := r.Gauge("runtime_heap_sys_bytes")
+	gcPause := r.Gauge("runtime_gc_pause_ns_total")
+	gcCycles := r.Gauge("runtime_gc_cycles_total")
+	nextGC := r.Gauge("runtime_next_gc_bytes")
+	r.OnScrape("runtime", func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapInuse.Set(int64(ms.HeapInuse))
+		heapSys.Set(int64(ms.HeapSys))
+		gcPause.Set(int64(ms.PauseTotalNs))
+		gcCycles.Set(int64(ms.NumGC))
+		nextGC.Set(int64(ms.NextGC))
+	})
+}

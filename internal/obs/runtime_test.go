@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublishRuntime(t *testing.T) {
+	reg := NewRegistry()
+	PublishRuntime(reg)
+	PublishRuntime(reg) // idempotent: the hook replaces itself by name
+
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	text := sb.String()
+	for _, name := range []string{
+		"runtime_goroutines",
+		"runtime_heap_alloc_bytes",
+		"runtime_heap_inuse_bytes",
+		"runtime_gc_pause_ns_total",
+		"runtime_gc_cycles_total",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("scrape lacks %s:\n%s", name, text)
+		}
+	}
+	snap := reg.Snapshot()
+	g, ok := snap["runtime_goroutines"].(int64)
+	if !ok || g < 1 {
+		t.Fatalf("runtime_goroutines = %v, want >= 1", snap["runtime_goroutines"])
+	}
+	if ha, _ := snap["runtime_heap_alloc_bytes"].(int64); ha <= 0 {
+		t.Fatalf("runtime_heap_alloc_bytes = %v", snap["runtime_heap_alloc_bytes"])
+	}
+	PublishRuntime(nil) // nil registry is a no-op, not a panic
+}
+
+func TestOnScrape(t *testing.T) {
+	reg := NewRegistry()
+	calls := 0
+	reg.OnScrape("probe", func() { calls++ })
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	reg.Snapshot()
+	if calls != 2 {
+		t.Fatalf("hook ran %d times, want 2 (once per scrape)", calls)
+	}
+	// Re-registering under the same name replaces, not stacks.
+	other := 0
+	reg.OnScrape("probe", func() { other++ })
+	reg.Snapshot()
+	if calls != 2 || other != 1 {
+		t.Fatalf("replaced hook: old=%d new=%d, want 2/1", calls, other)
+	}
+	var nilReg *Registry
+	nilReg.OnScrape("x", func() {}) // nil-safe
+}
+
+// TestSnapshotHistogramBuckets pins the bench-export contract: a
+// histogram snapshot carries its cumulative buckets, not just count and
+// sum, so committed bench JSON holds a real latency distribution.
+func TestSnapshotHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("req_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	snap := reg.Snapshot()
+	hist, ok := snap["req_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram snapshot is %T", snap["req_seconds"])
+	}
+	if hist["count"].(int64) != 3 {
+		t.Fatalf("count %v", hist["count"])
+	}
+	buckets, ok := hist["buckets"].([]map[string]any)
+	if !ok || len(buckets) != 3 {
+		t.Fatalf("buckets = %#v, want 3 entries ending at +Inf", hist["buckets"])
+	}
+	wantLe := []string{"0.1", "1", "+Inf"}
+	wantN := []int64{1, 1, 1} // per-bucket, not cumulative
+	for i, b := range buckets {
+		if b["le"] != wantLe[i] || b["count"].(int64) != wantN[i] {
+			t.Fatalf("bucket %d = %v, want le=%s count=%d", i, b, wantLe[i], wantN[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sacct
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -126,8 +127,10 @@ func (s *Store) hasLazy() bool {
 // as-is. A lazy shard with a projection (and stored in emission order,
 // so the scan's binary search stays valid) decodes just those columns,
 // transiently — the store keeps no copy. Otherwise the shard
-// materialises fully and is cached for every later scan.
-func (s *Store) shardView(m Month, proj []string) ([]slurm.Record, bool, error) {
+// materialises fully and is cached for every later scan. The context
+// carries the active request span, if any, so first-touch decode cost
+// lands on the request that paid it.
+func (s *Store) shardView(ctx context.Context, m Month, proj []string) ([]slurm.Record, bool, error) {
 	s.mu.RLock()
 	shard, ok := s.shards[m]
 	sorted := s.sorted[m]
@@ -137,11 +140,11 @@ func (s *Store) shardView(m Month, proj []string) ([]slurm.Record, bool, error) 
 		return shard, sorted, nil
 	}
 	if proj != nil && lz.Sorted() {
-		recs, err := lz.DecodeColumns(proj)
+		recs, err := lz.DecodeColumnsCtx(ctx, proj)
 		return recs, true, err
 	}
 	s.mu.Lock()
-	err := s.materializeLocked(m)
+	err := s.materializeLocked(ctx, m)
 	shard, sorted = s.shards[m], s.sorted[m]
 	s.mu.Unlock()
 	return shard, sorted, err
@@ -150,12 +153,12 @@ func (s *Store) shardView(m Month, proj []string) ([]slurm.Record, bool, error) 
 // materializeLocked decodes a lazy shard into the in-memory maps. The
 // caller holds s.mu. Losing a materialisation race is fine: the winner
 // already deleted the lazy entry and this call is a no-op.
-func (s *Store) materializeLocked(m Month) error {
+func (s *Store) materializeLocked(ctx context.Context, m Month) error {
 	sh, ok := s.lazy[m]
 	if !ok {
 		return nil
 	}
-	recs, err := sh.DecodeAll()
+	recs, err := sh.DecodeAllCtx(ctx)
 	if err != nil {
 		return err
 	}
@@ -181,7 +184,7 @@ func (s *Store) materializeAll() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for m := range s.lazy {
-		if err := s.materializeLocked(m); err != nil {
+		if err := s.materializeLocked(context.Background(), m); err != nil {
 			return err
 		}
 	}

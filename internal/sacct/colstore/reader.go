@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -201,7 +202,15 @@ func (s *Shard) ColumnBytes(name string) int64 {
 
 // DecodeAll materialises every column into records.
 func (s *Shard) DecodeAll() ([]slurm.Record, error) {
-	return s.decode(nil)
+	return s.decode(context.Background(), nil)
+}
+
+// DecodeAllCtx is DecodeAll under a request context: when the context
+// carries an active obs span, the decode reports itself as a
+// "colstore-shard-open" child span with shard/row/column/byte attrs —
+// the serving plane's per-request decomposition of first-touch cost.
+func (s *Shard) DecodeAllCtx(ctx context.Context) ([]slurm.Record, error) {
+	return s.decode(ctx, nil)
 }
 
 // DecodeColumns materialises only the named columns (canonical slurm
@@ -211,14 +220,36 @@ func (s *Shard) DecodeColumns(cols []string) ([]slurm.Record, error) {
 	if cols == nil {
 		cols = ColumnNames()
 	}
-	return s.decode(cols)
+	return s.decode(context.Background(), cols)
 }
 
-func (s *Shard) decode(cols []string) ([]slurm.Record, error) {
+// DecodeColumnsCtx is DecodeColumns with per-request span reporting,
+// as DecodeAllCtx.
+func (s *Shard) DecodeColumnsCtx(ctx context.Context, cols []string) ([]slurm.Record, error) {
+	if cols == nil {
+		cols = ColumnNames()
+	}
+	return s.decode(ctx, cols)
+}
+
+func (s *Shard) decode(ctx context.Context, cols []string) (_ []slurm.Record, err error) {
 	s.f.shardsOpened.Add(1)
 	s.f.cShards.Inc()
 	if cols == nil {
 		cols = ColumnNames()
+	}
+	var colBytes int64 // bytes of column regions this decode touched
+	if sp := obs.SpanFromContext(ctx).Child("colstore-shard-open"); sp != nil {
+		sp.SetAttr("shard", fmt.Sprintf("%04d-%02d", s.meta.year, int(s.meta.mon)))
+		sp.SetAttrInt("rows", int64(s.meta.rows))
+		sp.SetAttrInt("columns", int64(len(cols)))
+		defer func() {
+			sp.SetAttrInt("bytes", colBytes)
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+		}()
 	}
 	recs := make([]slurm.Record, s.meta.rows)
 	for _, name := range cols {
@@ -239,6 +270,7 @@ func (s *Shard) decode(cols []string) ([]slurm.Record, error) {
 		if err != nil {
 			return nil, err
 		}
+		colBytes += int64(len(region))
 		dec, err := s.newDecoder(cm.kind, region)
 		if err != nil {
 			return nil, fmt.Errorf("column %s: %w", def.name, err)

@@ -1,12 +1,14 @@
 package sacct
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 	"time"
 
+	"slurmsight/internal/obs"
 	"slurmsight/internal/sacct/colstore"
 	"slurmsight/internal/slurm"
 )
@@ -165,7 +167,15 @@ func (s *Store) window(shard []slurm.Record, sorted bool, q *Query) (lo, hi int)
 // per-shard view — each shard is either pre- or post-mutation; use
 // Generation to detect that the answer may already be stale.
 func (s *Store) Scan(q Query) slurm.RecordSeq {
-	return s.scan(q, nil)
+	return s.scan(context.Background(), q, nil)
+}
+
+// ScanCtx is Scan under a request context: when ctx carries an active
+// obs span, the pass reports itself as a "store-scan" child span with
+// shard/row attributes, and any lazy shard decode it triggers reports
+// under it — how a serving-plane request decomposes a slow scan.
+func (s *Store) ScanCtx(ctx context.Context, q Query) slurm.RecordSeq {
+	return s.scan(ctx, q, nil)
 }
 
 // scan is Scan with an optional column projection: when proj is
@@ -173,8 +183,18 @@ func (s *Store) Scan(q Query) slurm.RecordSeq {
 // uncached) instead of materialising. Projected records have every
 // unprojected field zero, so proj must cover the query's filter fields —
 // projection for a Write field selection is computed by Query.columns.
-func (s *Store) scan(q Query, proj []string) slurm.RecordSeq {
+func (s *Store) scan(ctx context.Context, q Query, proj []string) slurm.RecordSeq {
 	return func(yield func(*slurm.Record, error) bool) {
+		sp := obs.SpanFromContext(ctx).Child("store-scan")
+		var shards, rows int64
+		if sp != nil {
+			ctx = obs.ContextWithSpan(ctx, sp)
+			defer func() {
+				sp.SetAttrInt("shards", shards)
+				sp.SetAttrInt("rows", rows)
+				sp.End()
+			}()
+		}
 		_, st, filterState, err := q.validate()
 		if err != nil {
 			yield(nil, err)
@@ -184,16 +204,19 @@ func (s *Store) scan(q Query, proj []string) slurm.RecordSeq {
 			if !s.shardOverlaps(m, &q) {
 				continue
 			}
-			shard, sorted, err := s.shardView(m, proj)
+			shard, sorted, err := s.shardView(ctx, m, proj)
 			if err != nil {
+				sp.SetAttr("error", err.Error())
 				yield(nil, err)
 				return
 			}
+			shards++
 			lo, hi := s.window(shard, sorted, &q)
 			for i := lo; i < hi; i++ {
 				if !q.matches(&shard[i], st, filterState) {
 					continue
 				}
+				rows++
 				if !yield(&shard[i], nil) {
 					return
 				}
@@ -254,7 +277,7 @@ func (q *Query) columns(fields []string) []string {
 // binary-backed store with an explicit field selection, only the
 // selected (plus filtered) columns are decoded.
 func (s *Store) Write(w io.Writer, q Query) (int, error) {
-	return s.WriteN(w, q, 0)
+	return s.WriteNCtx(context.Background(), w, q, 0)
 }
 
 // WriteN is Write with a row bound: limit > 0 stops the scan after that
@@ -262,6 +285,12 @@ func (s *Store) Write(w io.Writer, q Query) (int, error) {
 // layer can cap response sizes without scanning past the cut. limit ≤ 0
 // writes everything.
 func (s *Store) WriteN(w io.Writer, q Query, limit int) (int, error) {
+	return s.WriteNCtx(context.Background(), w, q, limit)
+}
+
+// WriteNCtx is WriteN under a request context, reporting the underlying
+// scan (and any shard decode it triggers) as spans per ScanCtx.
+func (s *Store) WriteNCtx(ctx context.Context, w io.Writer, q Query, limit int) (int, error) {
 	fields, _, _, err := q.validate()
 	if err != nil {
 		return 0, err
@@ -274,7 +303,7 @@ func (s *Store) WriteN(w io.Writer, q Query, limit int) (int, error) {
 	sb.WriteString(slurm.Header(fields))
 	sb.WriteByte('\n')
 	n := 0
-	for r, err := range s.scan(q, proj) {
+	for r, err := range s.scan(ctx, q, proj) {
 		if err != nil {
 			return n, err
 		}

@@ -14,6 +14,7 @@ package sacct
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -162,7 +163,7 @@ func (s *Store) Add(records ...slurm.Record) error {
 	for _, r := range records {
 		m := MonthOf(r.Submit)
 		if _, ok := s.lazy[m]; ok {
-			if err := s.materializeLocked(m); err != nil {
+			if err := s.materializeLocked(context.Background(), m); err != nil {
 				if added {
 					s.gen.Add(1)
 				}

@@ -1,0 +1,35 @@
+package serve
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+
+	"slurmsight/internal/obs"
+)
+
+// MountDebug wires the standard observability surface onto a mux — the
+// one hook every serving binary (queryd, llmserve, dashboard, schedflow
+// -serve) shares so they all expose the same endpoints:
+//
+//	GET /metrics         Prometheus text (runtime collector included)
+//	GET /debug/vars      expvar JSON
+//	GET /debug/requests  flight recorder (HTML; ?format=json)
+//	GET /debug/pprof/*   profiling
+//
+// Registering also installs the runtime scrape hook (goroutines, heap,
+// GC) on m, so every /metrics pull reports process health without a
+// background sampler. rec may be nil: /debug/requests then serves an
+// empty snapshot instead of 404ing, keeping probes uniform across
+// deployments with recording disabled.
+func MountDebug(mux *http.ServeMux, m *obs.Registry, rec *obs.Recorder) {
+	obs.PublishRuntime(m)
+	mux.Handle("GET /metrics", m.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.Handle("GET /debug/requests", rec.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

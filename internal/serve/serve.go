@@ -8,8 +8,10 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -50,6 +52,19 @@ type Config struct {
 	TopUsers     int     // figure 5 user count; default 15
 	Nodes        int     // capacity reference line for ext-load-timeline
 
+	// Flight recorder sizing: ring of recent traces and slowest-N kept
+	// per route. Zero takes the defaults (256/8); negative FlightRing
+	// disables recording entirely, which also turns off per-request
+	// tracing unless a slow log is configured.
+	FlightRing int
+	FlightTail int
+
+	// SlowThreshold is the latency past which a request earns a
+	// structured log line (with its trace ID). Zero defaults to 250ms;
+	// negative disables the slow log.
+	SlowThreshold time.Duration
+	Log           *slog.Logger // slow-request log sink; nil disables
+
 	Logf func(string, ...any) // nil discards
 }
 
@@ -61,6 +76,7 @@ type Server struct {
 	m     *obs.Registry
 	cache *respCache
 	lim   *limiter
+	rec   *obs.Recorder
 	logf  func(string, ...any)
 
 	ingestBatches, ingestRows, ingestMalformed, ingestErrors *obs.Counter
@@ -88,9 +104,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Burst <= 0 {
 		cfg.Burst = 2 * cfg.RatePerSec
 	}
+	if cfg.SlowThreshold == 0 {
+		cfg.SlowThreshold = 250 * time.Millisecond
+	}
 	m := cfg.Metrics
 	if m == nil {
 		m = obs.NewRegistry()
+	}
+	var rec *obs.Recorder
+	if cfg.FlightRing >= 0 {
+		rec = obs.NewRecorder(cfg.FlightRing, cfg.FlightTail)
 	}
 	logf := cfg.Logf
 	if logf == nil {
@@ -102,6 +125,7 @@ func New(cfg Config) (*Server, error) {
 		m:     m,
 		cache: newRespCache(cfg.CacheEntries, m),
 		lim:   newLimiter(cfg.RatePerSec, cfg.Burst, m),
+		rec:   rec,
 		logf:  logf,
 
 		ingestBatches:   m.Counter("serve_ingest_batches_total"),
@@ -112,9 +136,14 @@ func New(cfg Config) (*Server, error) {
 		rowsGauge:       m.Gauge("serve_store_rows"),
 	}
 	s.store.Instrument(m)
+	obs.PublishRuntime(m)
 	s.updateStoreGauges()
 	return s, nil
 }
+
+// Recorder exposes the server's flight recorder (nil when disabled) so
+// callers can mount its handler elsewhere or snapshot it in tests.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
 
 // Metrics returns the registry the server meters into (the configured
 // one, or the private registry New allocated).
@@ -135,10 +164,13 @@ func (s *Server) updateStoreGauges() {
 //	GET  /figures/<k>.json  chart spec for a figure key
 //	GET  /healthz        liveness + store shape
 //	GET  /metrics        Prometheus text
+//	GET  /debug/requests flight recorder (HTML; ?format=json)
 //	GET  /debug/pprof/*  profiling
 //
-// The whole mux is wrapped in request accounting under the "serve"
-// metric prefix.
+// The whole mux is wrapped in request instrumentation under the
+// "serve" metric prefix: RED metrics always, and — when the flight
+// recorder or slow log is enabled — a per-request trace whose ID is
+// echoed in X-Trace-Id.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /query", s.throttled(s.handleQuery))
@@ -146,19 +178,35 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /figures/{name}", s.throttled(s.handleFigure))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", s.m.Handler())
+	mux.Handle("GET /debug/requests", s.rec.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	return Instrument(s.m, "serve", mux)
+	return Middleware{
+		Registry:      s.m,
+		Prefix:        "serve",
+		Recorder:      s.rec,
+		SlowThreshold: s.cfg.SlowThreshold,
+		Log:           s.cfg.Log,
+	}.Wrap(mux)
 }
 
-// throttled gates a handler behind the per-client token bucket.
+// throttled gates a handler behind the per-client token bucket. Denials
+// carry a Retry-After computed from the actual token refill rate and
+// mark the request's trace so a 429 is self-explanatory in the flight
+// recorder.
 func (s *Server) throttled(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if !s.lim.allow(clientKey(r)) {
-			w.Header().Set("Retry-After", "1")
+		ok, retry := s.lim.allowRetry(clientKey(r))
+		if !ok {
+			secs := int(retry/time.Second) + 1 // round up; 0 is not a valid Retry-After
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			if sp := obs.SpanFromContext(r.Context()); sp != nil {
+				sp.SetAttr("throttled", "true")
+				sp.SetAttrInt("retry_after_s", int64(secs))
+			}
 			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
 			return
 		}
@@ -184,7 +232,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	gen := s.store.Generation()
 	ent, outcome, err := s.cache.do(fmt.Sprintf("q|g=%d|%s", gen, key), func() (*entry, error) {
 		var buf bytes.Buffer
-		n, err := s.store.WriteN(&buf, q, limit)
+		n, err := s.store.WriteNCtx(r.Context(), &buf, q, limit)
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +248,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	s.writeCached(w, ent, outcome, gen)
+	s.writeCached(w, r, ent, outcome, gen)
 }
 
 // handleFigure answers GET /figures/<key>.json with the chart spec for
@@ -215,11 +263,11 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	gen := s.store.Generation()
 	ent, outcome, err := s.cache.do(fmt.Sprintf("fig|g=%d|%s", gen, key), func() (*entry, error) {
-		b, err := s.bundleAt(gen)
+		b, err := s.bundleAt(r.Context(), gen)
 		if err != nil {
 			return nil, err
 		}
-		chart, err := core.ChartFromBundle(key, s.cfg.System, b, s.cfg.TopUsers, s.cfg.Nodes)
+		chart, err := core.ChartFromBundleCtx(r.Context(), key, s.cfg.System, b, s.cfg.TopUsers, s.cfg.Nodes)
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +281,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	s.writeCached(w, ent, outcome, gen)
+	s.writeCached(w, r, ent, outcome, gen)
 }
 
 func validFigure(key string) bool {
@@ -254,13 +302,16 @@ func validFigure(key string) bool {
 // cached one is from another generation. An append landing mid-scan can
 // leave a bundle slightly ahead of its label; the next generation's
 // request recomputes, so staleness never outlives one append.
-func (s *Server) bundleAt(gen uint64) (*analyze.Bundle, error) {
+func (s *Server) bundleAt(ctx context.Context, gen uint64) (*analyze.Bundle, error) {
 	s.figMu.Lock()
 	defer s.figMu.Unlock()
 	if s.figBundle != nil && s.figGen == gen {
+		if sp := obs.SpanFromContext(ctx); sp != nil {
+			sp.SetAttr("bundle", "cached")
+		}
 		return s.figBundle, nil
 	}
-	b, err := analyze.Collect(s.store.Scan(sacct.Query{IncludeSteps: true}), core.TimelineBucket)
+	b, err := analyze.CollectCtx(ctx, s.store.ScanCtx(ctx, sacct.Query{IncludeSteps: true}), core.TimelineBucket)
 	if err != nil {
 		return nil, err
 	}
@@ -268,13 +319,20 @@ func (s *Server) bundleAt(gen uint64) (*analyze.Bundle, error) {
 	return b, nil
 }
 
-func (s *Server) writeCached(w http.ResponseWriter, ent *entry, outcome cacheOutcome, gen uint64) {
+func (s *Server) writeCached(w http.ResponseWriter, r *http.Request, ent *entry, outcome cacheOutcome, gen uint64) {
 	h := w.Header()
 	h.Set("Content-Type", ent.ctype)
 	h.Set("X-Store-Generation", strconv.FormatUint(gen, 10))
 	h.Set("X-Cache", string(outcome))
 	if ent.rows >= 0 {
 		h.Set("X-Rows", strconv.Itoa(ent.rows))
+	}
+	if sp := obs.SpanFromContext(r.Context()); sp != nil {
+		sp.SetAttr("cache", string(outcome))
+		sp.SetAttrInt("generation", int64(gen))
+		if ent.rows >= 0 {
+			sp.SetAttrInt("rows", int64(ent.rows))
+		}
 	}
 	w.Write(ent.body)
 }
@@ -301,10 +359,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		recs      []slurm.Record
 		malformed int
 	)
-	if colstore.SniffBytes(body) {
-		recs, err = decodeBinaryBatch(body)
+	decode := func() {
+		if colstore.SniffBytes(body) {
+			recs, err = decodeBinaryBatch(body)
+		} else {
+			recs, malformed, err = decodeTextBatch(body)
+		}
+	}
+	if sp := obs.SpanFromContext(r.Context()).Child("ingest-decode"); sp != nil {
+		sp.SetAttrInt("bytes", int64(len(body)))
+		decode()
+		sp.SetAttrInt("rows", int64(len(recs)))
+		sp.SetAttrInt("malformed", int64(malformed))
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
 	} else {
-		recs, malformed, err = decodeTextBatch(body)
+		decode()
 	}
 	if err != nil {
 		s.ingestErrors.Inc()

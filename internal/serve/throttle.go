@@ -51,8 +51,16 @@ func newLimiter(rate, burst float64, m *obs.Registry) *limiter {
 
 // allow reports whether the client may proceed, spending one token.
 func (l *limiter) allow(key string) bool {
+	ok, _ := l.allowRetry(key)
+	return ok
+}
+
+// allowRetry is allow plus, on denial, how long until the bucket
+// refills to a whole token — the honest Retry-After value rather than a
+// constant guess.
+func (l *limiter) allowRetry(key string) (bool, time.Duration) {
 	if l == nil {
-		return true
+		return true, 0
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -69,10 +77,10 @@ func (l *limiter) allow(key string) bool {
 	b.last = now
 	if b.tokens < 1 {
 		l.throttled.Inc()
-		return false
+		return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
 	}
 	b.tokens--
-	return true
+	return true, 0
 }
 
 // sweepLocked drops buckets that have refilled to burst — clients idle
