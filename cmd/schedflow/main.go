@@ -23,6 +23,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -42,7 +43,7 @@ func main() {
 	var (
 		workers = flag.Int("n", 4, "workflow concurrency (swift-t -n)")
 		ingestW = flag.Int("ingest-workers", 1,
-			"chunk decoders per period file (>1 selects the parallel byte ingest plane)")
+			"chunk decoders per period file (>1 selects the parallel byte ingest plane, 0 = GOMAXPROCS)")
 		trace       = flag.String("trace", "trace.txt", "accounting dump to analyze")
 		storeFormat = flag.String("store-format", "auto",
 			"trace format: auto (sniff the magic), text, or binary (columnar)")
@@ -91,6 +92,11 @@ func main() {
 		log.Printf("warning: %d malformed rows dropped while loading %s", malformed, *trace)
 	}
 	log.Printf("loaded %d records (%v)", store.Len(), monthsRange(store))
+	resolvedIngest := *ingestW
+	if resolvedIngest == 0 {
+		resolvedIngest = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("ingest workers: %d", resolvedIngest)
 
 	cfg := core.Config{
 		SystemName:      *system,

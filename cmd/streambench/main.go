@@ -35,10 +35,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -60,34 +62,95 @@ func main() {
 	log.SetPrefix("streambench: ")
 
 	var (
-		gen     = flag.Bool("gen", false, "generate a trace file and exit")
-		run     = flag.Bool("run", false, "run one analysis pass over -path")
-		convert = flag.Bool("convert", false, "rewrite the text trace at -path as <path>.colstore and exit")
-		rows    = flag.Int("rows", 1_000_000, "data rows to generate with -gen")
-		mode    = flag.String("mode", "stream", "analysis path with -run: stream, slices, parallel, textload, or colstore")
-		path    = flag.String("path", "trace.txt", "trace file")
-		out     = flag.String("out", "", "output path with -convert (default <path>.colstore)")
-		seed    = flag.Int64("seed", 41, "workload RNG seed for -gen")
-		workers = flag.Int("workers", 1, "chunk decoders with -mode parallel")
-		jsonOut = flag.String("json", "", "append the run's result to this JSON array file")
+		gen       = flag.Bool("gen", false, "generate a trace file and exit")
+		run       = flag.Bool("run", false, "run one analysis pass over -path")
+		convert   = flag.Bool("convert", false, "rewrite the text trace at -path as <path>.colstore and exit")
+		sweep     = flag.Bool("sweep", false, "run the rows × workers × mode matrix and append a sweep/v1 block to -json")
+		rows      = flag.Int("rows", 1_000_000, "data rows to generate with -gen or -sweep")
+		genMonths = flag.Int("gen-months", 1, "calendar months the generated workload spans (one colstore shard each)")
+		mode      = flag.String("mode", "stream", "analysis path with -run: stream, slices, parallel, textload, or colstore")
+		path      = flag.String("path", "trace.txt", "trace file (with -sweep, the base name derived files hang off)")
+		out       = flag.String("out", "", "output path with -convert (default <path>.colstore)")
+		seed      = flag.Int64("seed", 41, "workload RNG seed for -gen")
+		workers   = flag.Int("workers", 1, "chunk/shard decoders with -mode parallel or colstore (0 = GOMAXPROCS)")
+		jsonOut   = flag.String("json", "", "append the run's result to this JSON array file")
+
+		sweepWorkers = flag.String("sweep-workers", "1,2,4,8", "comma-separated worker counts for -sweep")
+		sweepModes   = flag.String("sweep-modes", "parallel,colstore", "comma-separated modes for -sweep")
+		sweepReps    = flag.Int("sweep-reps", 1, "repetitions per sweep cell (best wall time is kept)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measured pass to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the measured pass to this file")
 	)
 	flag.Parse()
 
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+		log.Printf("workers: %d (auto = GOMAXPROCS)", *workers)
+	}
+
+	if err := dispatch(*gen, *run, *convert, *sweep, dispatchArgs{
+		path: *path, out: *out, rows: *rows, months: *genMonths, seed: *seed,
+		mode: *mode, workers: *workers, jsonOut: *jsonOut,
+		sweepWorkers: *sweepWorkers, sweepModes: *sweepModes, sweepReps: *sweepReps,
+		cpuprofile: *cpuprofile, memprofile: *memprofile,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type dispatchArgs struct {
+	path, out                string
+	rows, months             int
+	seed                     int64
+	mode                     string
+	workers                  int
+	jsonOut                  string
+	sweepWorkers, sweepModes string
+	sweepReps                int
+	cpuprofile, memprofile   string
+}
+
+// dispatch runs the selected phase, bracketing it with the optional
+// pprof captures (a deferred stop, so profiles survive error paths —
+// log.Fatal in main would skip them).
+func dispatch(gen, run, convert, sweep bool, a dispatchArgs) error {
+	if a.cpuprofile != "" {
+		f, err := os.Create(a.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if a.memprofile != "" {
+		defer func() {
+			f, err := os.Create(a.memprofile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
 	switch {
-	case *gen:
-		if err := generate(*path, *rows, *seed); err != nil {
-			log.Fatal(err)
-		}
-	case *convert:
-		if err := convertTrace(*path, *out); err != nil {
-			log.Fatal(err)
-		}
-	case *run:
-		if err := measure(*path, *mode, *workers, *jsonOut); err != nil {
-			log.Fatal(err)
-		}
+	case gen:
+		return generate(a.path, a.rows, a.months, a.seed)
+	case convert:
+		return convertTrace(a.path, a.out)
+	case sweep:
+		return runSweep(a)
+	case run:
+		return measure(a.path, a.mode, a.workers, a.jsonOut)
 	default:
-		log.Fatal("pick one of -gen, -convert, or -run")
+		return fmt.Errorf("pick one of -gen, -convert, -sweep, or -run")
 	}
 }
 
@@ -119,15 +182,20 @@ func convertTrace(path, out string) error {
 	return nil
 }
 
-// generate simulates a seed workload, then tiles its encoded rows until
-// the file holds n data rows. Tiled copies keep their field values; only
-// row identity repeats, which the figure collectors do not key on.
-func generate(path string, n int, seed int64) error {
+// generate simulates a seed workload spanning `months` calendar months
+// (each month becomes one colstore shard, the unit of decode
+// parallelism), then tiles its encoded rows until the file holds n data
+// rows. Tiled copies keep their field values; only row identity
+// repeats, which the figure collectors do not key on.
+func generate(path string, n, months int, seed int64) error {
+	if months < 1 {
+		months = 1
+	}
 	p := tracegen.FrontierProfile()
 	p.JobsPerDay, p.Users = 300, 150
 	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
 	reqs, err := tracegen.Generate([]tracegen.Phase{{
-		Profile: p, Start: start, End: start.AddDate(0, 0, 30),
+		Profile: p, Start: start, End: start.AddDate(0, months, 0).Add(-24 * time.Hour),
 	}}, seed)
 	if err != nil {
 		return err
@@ -174,16 +242,35 @@ func generate(path string, n int, seed int64) error {
 	return nil
 }
 
+// phaseSplit breaks one pass's wall time into the parts that scale
+// with workers (decode), the reduction (merge), and the serial tail
+// (finalize) — the raw material for the Amdahl fit in the sweep block.
+// For the store-reload modes decode is the full materialising scan and
+// finalize the projected query; reload keeps its own field.
+type phaseSplit struct {
+	DecodeMS   float64 `json:"decode_ms"`
+	MergeMS    float64 `json:"merge_ms"`
+	FinalizeMS float64 `json:"finalize_ms"`
+}
+
 // benchResult is one measurement in the BENCH_ingest.json array: the
 // stable schema the CI artifact and EXPERIMENTS.md sweeps share.
 type benchResult struct {
-	Mode         string  `json:"mode"`
-	Rows         int64   `json:"rows"`
-	Workers      int     `json:"workers"`
-	WallMS       float64 `json:"wall_ms"`
-	NsPerOp      float64 `json:"ns_per_op"`
-	AllocsPerOp  float64 `json:"allocs_per_op"`
-	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+	Mode         string     `json:"mode"`
+	Rows         int64      `json:"rows"`
+	Workers      int        `json:"workers"`
+	GoMaxProcs   int        `json:"gomaxprocs"`
+	NumCPU       int        `json:"num_cpu"`
+	WallMS       float64    `json:"wall_ms"`
+	PhaseMS      phaseSplit `json:"phase_ms"`
+	NsPerOp      float64    `json:"ns_per_op"`
+	AllocsPerOp  float64    `json:"allocs_per_op"`
+	PeakRSSBytes int64      `json:"peak_rss_bytes"`
+
+	// Digest fingerprints the pass's observable output (FNV-64a over
+	// the figure results, or over the full Write text for the store
+	// modes), so a sweep can assert byte-parity across worker counts.
+	Digest string `json:"digest,omitempty"`
 
 	// Store-reload modes (textload, colstore) split the wall into the
 	// reload (time-to-usable-Store), a two-field projected query, and a
@@ -197,36 +284,89 @@ type benchResult struct {
 	BytesMapped int64   `json:"bytes_mapped,omitempty"`
 }
 
-// measure runs one analysis pass and reports wall time, allocation
-// totals, and the process high-water RSS.
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// measure runs one analysis pass and reports wall time, per-phase
+// split, allocation totals, and the process high-water RSS.
 func measure(path, mode string, workers int, jsonOut string) error {
 	t0 := time.Now()
-	var records int64
-	var reload benchResult // reload/proj/scan extras for the store modes
+	res, err := measureCell(path, mode, workers)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(t0)
+
+	var mstats runtime.MemStats
+	runtime.ReadMemStats(&mstats)
+	hwm, err := vmHWM()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mode=%s workers=%d records=%d wall=%s decode=%.1fms merge=%.1fms finalize=%.1fms peak_rss=%.1fMB total_alloc=%.1fMB mallocs=%d\n",
+		mode, workers, res.Rows, wall.Round(time.Millisecond),
+		res.PhaseMS.DecodeMS, res.PhaseMS.MergeMS, res.PhaseMS.FinalizeMS,
+		float64(hwm)/(1<<20), float64(mstats.TotalAlloc)/(1<<20), mstats.Mallocs)
+	if jsonOut == "" {
+		return nil
+	}
+	res.WallMS = ms(wall)
+	res.PeakRSSBytes = hwm
+	if res.Rows > 0 {
+		res.NsPerOp = float64(wall.Nanoseconds()) / float64(res.Rows)
+		res.AllocsPerOp = float64(mstats.Mallocs) / float64(res.Rows)
+	}
+	return appendResult(jsonOut, res)
+}
+
+// measureCell runs one (mode, workers) pass and returns the partially
+// filled result: rows, phase split, host shape, and the reload extras
+// for the store modes. Wall/RSS/alloc totals are the caller's, since a
+// sweep runs many cells in one process.
+func measureCell(path, mode string, workers int) (benchResult, error) {
+	res := benchResult{
+		Mode:       mode,
+		Workers:    workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
 	switch mode {
 	case "textload", "colstore":
-		r, err := measureReload(path, mode)
+		r, err := measureReload(path, mode, workers)
 		if err != nil {
-			return err
+			return res, err
 		}
-		reload, records = r, r.Rows
+		rows := r.Rows
+		r.Mode, r.Workers, r.GoMaxProcs, r.NumCPU = res.Mode, res.Workers, res.GoMaxProcs, res.NumCPU
+		res = r
+		res.Rows = rows
+		// Decode is the full materialising scan (the phase the shard
+		// pool parallelises); the projected query stands in for
+		// finalize; reload keeps its own field.
+		res.PhaseMS = phaseSplit{DecodeMS: r.ScanMS, FinalizeMS: r.ProjMS}
 	case "stream":
 		b := analyze.NewBundle(bucket)
 		var rep curate.Report
+		td := time.Now()
 		for rec, err := range curate.StreamFile(path, "", curate.DefaultOptions(), &rep) {
 			if err != nil {
-				return err
+				return res, err
 			}
 			b.Observe(rec)
 		}
+		res.PhaseMS.DecodeMS = ms(time.Since(td))
+		tf := time.Now()
 		touchBundle(b)
-		records = b.Records
+		res.PhaseMS.FinalizeMS = ms(time.Since(tf))
+		res.Rows = b.Records
+		res.Digest = bundleDigest(b)
 	case "parallel":
 		b := analyze.NewBundle(bucket)
 		shards := analyze.NewShardSet(bucket)
 		opts := curate.DefaultOptions()
 		opts.Workers = workers
 		var rep curate.Report
+		td := time.Now()
 		if _, err := curate.StreamFileParallel(path, "", opts, &rep,
 			func(chunk int) func(*slurm.Record) bool {
 				sb := shards.Shard(chunk)
@@ -235,57 +375,48 @@ func measure(path, mode string, workers int, jsonOut string) error {
 					return true
 				}
 			}); err != nil {
-			return err
+			return res, err
 		}
-		shards.MergeInto(b)
+		res.PhaseMS.DecodeMS = ms(time.Since(td))
+		tm := time.Now()
+		shards.MergeIntoN(b, workers)
+		res.PhaseMS.MergeMS = ms(time.Since(tm))
+		tf := time.Now()
 		touchBundle(b)
-		records = b.Records
+		res.PhaseMS.FinalizeMS = ms(time.Since(tf))
+		res.Rows = b.Records
+		res.Digest = bundleDigest(b)
 	case "slices":
+		td := time.Now()
 		recs, _, err := curate.LoadRecordsFile(path)
 		if err != nil {
-			return err
+			return res, err
 		}
+		res.PhaseMS.DecodeMS = ms(time.Since(td))
+		tm := time.Now()
 		sort.SliceStable(recs, func(i, j int) bool {
 			return slurm.CompareJobID(recs[i].ID, recs[j].ID) < 0
 		})
+		res.PhaseMS.MergeMS = ms(time.Since(tm))
+		tf := time.Now()
 		touchSlices(recs)
-		records = int64(len(recs))
+		res.PhaseMS.FinalizeMS = ms(time.Since(tf))
+		res.Rows = int64(len(recs))
 	default:
-		return fmt.Errorf("unknown -mode %q", mode)
+		return res, fmt.Errorf("unknown -mode %q", mode)
 	}
-	wall := time.Since(t0)
-
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	hwm, err := vmHWM()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("mode=%s workers=%d records=%d wall=%s peak_rss=%.1fMB total_alloc=%.1fMB mallocs=%d\n",
-		mode, workers, records, wall.Round(time.Millisecond),
-		float64(hwm)/(1<<20), float64(ms.TotalAlloc)/(1<<20), ms.Mallocs)
-	if jsonOut == "" {
-		return nil
-	}
-	res := reload
-	res.Mode = mode
-	res.Rows = records
-	res.Workers = workers
-	res.WallMS = float64(wall) / float64(time.Millisecond)
-	res.PeakRSSBytes = hwm
-	if records > 0 {
-		res.NsPerOp = float64(wall.Nanoseconds()) / float64(records)
-		res.AllocsPerOp = float64(ms.Mallocs) / float64(records)
-	}
-	return appendResult(jsonOut, res)
+	return res, nil
 }
 
 // measureReload times the store-reload path: time-to-usable-Store, a
-// two-field projected query, and a full materialising scan. For colstore
-// it also snapshots the read counters right after the projection, before
-// the full scan inflates them — bytes_read at that point is the proof
-// that the projection touched only the User/Elapsed/JobID regions.
-func measureReload(path, mode string) (benchResult, error) {
+// two-field projected query, and a full materialising scan (decoding up
+// to `workers` shards concurrently for colstore). For colstore it also
+// snapshots the read counters right after the projection, before the
+// full scan inflates them — bytes_read at that point is the proof that
+// the projection touched only the User/Elapsed/JobID regions. The
+// digest hashes the projected text plus a scan fingerprint, so it is
+// identical across worker counts iff the outputs are.
+func measureReload(path, mode string, workers int) (benchResult, error) {
 	var r benchResult
 	t0 := time.Now()
 	var st *sacct.Store
@@ -300,13 +431,15 @@ func measureReload(path, mode string) (benchResult, error) {
 		return r, err
 	}
 	defer st.Close()
-	r.ReloadMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	st.SetDecodeWorkers(workers)
+	r.ReloadMS = ms(time.Since(t0))
 
+	h := fnv.New64a()
 	t1 := time.Now()
-	if _, err := st.Write(io.Discard, sacct.Query{Fields: []string{"User", "Elapsed"}}); err != nil {
+	if _, err := st.Write(h, sacct.Query{Fields: []string{"User", "Elapsed"}}); err != nil {
 		return r, err
 	}
-	r.ProjMS = float64(time.Since(t1)) / float64(time.Millisecond)
+	r.ProjMS = ms(time.Since(t1))
 	if stats, ok := st.ColstoreStats(); ok {
 		r.ColumnsRead = stats.ColumnsRead
 		r.BytesRead = stats.BytesRead
@@ -314,28 +447,59 @@ func measureReload(path, mode string) (benchResult, error) {
 	}
 
 	t2 := time.Now()
-	for _, err := range st.Scan(sacct.Query{IncludeSteps: true}) {
+	for rec, err := range st.Scan(sacct.Query{IncludeSteps: true}) {
 		if err != nil {
 			return r, err
 		}
 		r.Rows++
+		io.WriteString(h, rec.ID.String())
+		io.WriteString(h, rec.Submit.UTC().Format(time.RFC3339))
 	}
-	r.ScanMS = float64(time.Since(t2)) / float64(time.Millisecond)
-	fmt.Printf("mode=%s reload=%.1fms proj=%.1fms scan=%.1fms columns_read=%d bytes_read=%d bytes_mapped=%d\n",
-		mode, r.ReloadMS, r.ProjMS, r.ScanMS, r.ColumnsRead, r.BytesRead, r.BytesMapped)
+	r.ScanMS = ms(time.Since(t2))
+	r.Digest = fmt.Sprintf("%016x", h.Sum64())
+	fmt.Printf("mode=%s workers=%d reload=%.1fms proj=%.1fms scan=%.1fms columns_read=%d bytes_read=%d bytes_mapped=%d\n",
+		mode, workers, r.ReloadMS, r.ProjMS, r.ScanMS, r.ColumnsRead, r.BytesRead, r.BytesMapped)
 	return r, nil
 }
 
+// bundleDigest fingerprints every figure surface the workflow renders:
+// two passes that produce the same digest would emit byte-identical
+// figure specs. The reclaimable and per-class summaries are deliberately
+// excluded — they fold float sums whose partial-sum grouping shifts with
+// the chunk count (last-ulp drift only), while every figure surface is
+// integer counts or appended points and therefore exact at any width.
+func bundleDigest(b *analyze.Bundle) string {
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	for _, v := range []any{
+		b.Records, b.Jobs,
+		b.Volume.Result(), b.Scale.Result(), b.Waits.Result(),
+		b.Users.Result(50), b.Backfill.Result(),
+		b.Timeline.Result(),
+	} {
+		if err := enc.Encode(v); err != nil {
+			return "unencodable:" + err.Error()
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // appendResult folds one measurement into the JSON array at path,
-// creating the file on first use. Each invocation is a fresh process,
-// so VmHWM in every entry reflects only its own pass.
-func appendResult(path string, r benchResult) error {
-	var list []benchResult
+// creating the file on first use. Entries the current schema does not
+// know (older results, sweep blocks) pass through untouched, so a
+// regeneration never silently drops history. Each -run invocation is a
+// fresh process, so VmHWM in every entry reflects only its own pass.
+func appendResult(path string, v any) error {
+	var list []json.RawMessage
 	if data, err := os.ReadFile(path); err == nil {
 		// A malformed file starts a fresh array rather than failing the run.
 		_ = json.Unmarshal(data, &list)
 	}
-	list = append(list, r)
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	list = append(list, raw)
 	data, err := json.MarshalIndent(list, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchResultJSONShape pins the benchResult wire schema: the CI
+// sweep assertions and EXPERIMENTS.md tooling key on these names, so a
+// rename must be a deliberate schema bump, not an accident.
+func TestBenchResultJSONShape(t *testing.T) {
+	res := benchResult{
+		Mode:       "parallel",
+		Rows:       10,
+		Workers:    2,
+		GoMaxProcs: 2,
+		NumCPU:     2,
+		WallMS:     1.5,
+		PhaseMS:    phaseSplit{DecodeMS: 1, MergeMS: 0.25, FinalizeMS: 0.25},
+		Digest:     "fnv64a:deadbeef",
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"mode", "rows", "workers", "gomaxprocs", "num_cpu", "wall_ms", "phase_ms", "digest"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("benchResult JSON missing %q", key)
+		}
+	}
+	phases, ok := m["phase_ms"].(map[string]any)
+	if !ok {
+		t.Fatalf("phase_ms is %T, want object", m["phase_ms"])
+	}
+	for _, key := range []string{"decode_ms", "merge_ms", "finalize_ms"} {
+		if _, ok := phases[key]; !ok {
+			t.Errorf("phase_ms JSON missing %q", key)
+		}
+	}
+}
+
+// TestSweepBlockJSONShape pins the sweep/v1 schema appended to the
+// bench JSON file.
+func TestSweepBlockJSONShape(t *testing.T) {
+	block := sweepBlock{
+		Schema:               "sweep/v1",
+		GoMaxProcs:           2,
+		NumCPU:               2,
+		Rows:                 10,
+		Months:               3,
+		Reps:                 2,
+		Cells:                []sweepCell{{Mode: "colstore", Workers: 2, WallMS: 1, SpeedupV1: 1}},
+		AmdahlSerialFraction: map[string]float64{"colstore": 0.5},
+		ParityOK:             true,
+	}
+	raw, err := json.Marshal(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "generated_at", "gomaxprocs", "num_cpu", "rows",
+		"months", "reps", "cells", "amdahl_serial_fraction", "parity_ok"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("sweepBlock JSON missing %q", key)
+		}
+	}
+	if m["schema"] != "sweep/v1" {
+		t.Errorf("schema = %v, want sweep/v1", m["schema"])
+	}
+	cell := m["cells"].([]any)[0].(map[string]any)
+	for _, key := range []string{"mode", "workers", "wall_ms", "phase_ms", "digest", "speedup_vs_1"} {
+		if _, ok := cell[key]; !ok {
+			t.Errorf("sweepCell JSON missing %q", key)
+		}
+	}
+}
+
+// TestAppendResultPreservesForeignEntries pins that appending never
+// rewrites existing entries: older benchResult shapes and sweep blocks
+// must survive byte-for-byte (modulo re-indentation), so the committed
+// bench file can accrete history across schema revisions.
+func TestAppendResultPreservesForeignEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	legacy := `[
+  {
+    "mode": "ancient",
+    "rows": 42,
+    "mystery_field": {"nested": true}
+  }
+]`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendResult(path, benchResult{Mode: "parallel", Rows: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendResult(path, sweepBlock{Schema: "sweep/v1"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []map[string]any
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("%d entries, want 3", len(list))
+	}
+	if list[0]["mode"] != "ancient" {
+		t.Errorf("legacy entry lost: %v", list[0])
+	}
+	nested, ok := list[0]["mystery_field"].(map[string]any)
+	if !ok || nested["nested"] != true {
+		t.Errorf("legacy unknown field mangled: %v", list[0]["mystery_field"])
+	}
+	if list[1]["mode"] != "parallel" || list[2]["schema"] != "sweep/v1" {
+		t.Errorf("appended entries wrong: %v / %v", list[1], list[2])
+	}
+}
+
+// TestAmdahlSerialFraction pins the fit at its anchor points: perfect
+// scaling is f=0, a flat curve is f=1, and no multi-worker data
+// defaults to fully serial.
+func TestAmdahlSerialFraction(t *testing.T) {
+	cases := []struct {
+		name  string
+		cells []sweepCell
+		want  float64
+	}{
+		{"perfect", []sweepCell{{Workers: 1, WallMS: 100}, {Workers: 2, WallMS: 50}, {Workers: 4, WallMS: 25}}, 0},
+		{"flat", []sweepCell{{Workers: 1, WallMS: 100}, {Workers: 2, WallMS: 100}, {Workers: 4, WallMS: 100}}, 1},
+		{"single-point", []sweepCell{{Workers: 1, WallMS: 100}}, 1},
+		{"empty", nil, 1},
+		{"half-serial-2w", []sweepCell{{Workers: 1, WallMS: 100}, {Workers: 2, WallMS: 75}}, 0.5},
+	}
+	for _, tc := range cases {
+		got := amdahlSerialFraction(tc.cells)
+		if diff := got - tc.want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: f = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The sweep harness runs the rows × workers × mode matrix in one
+// invocation and appends a single machine-readable sweep/v1 block to
+// the -json file: the committed scaling story. Each cell records its
+// wall time, per-phase split, and an output digest; the block adds the
+// host shape, per-mode speedup curves, and the Amdahl serial fraction
+// fitted from the worker curve — so a flat curve on a small host is
+// documented as "serial fraction ≈ 1", not silently mistaken for a
+// parallelism bug. Parity across worker counts is enforced, not
+// assumed: a digest mismatch fails the sweep.
+
+// sweepCell is one (mode, workers) point: best wall of -sweep-reps
+// repetitions, with that repetition's phase split and digest.
+type sweepCell struct {
+	Mode      string     `json:"mode"`
+	Workers   int        `json:"workers"`
+	WallMS    float64    `json:"wall_ms"`
+	PhaseMS   phaseSplit `json:"phase_ms"`
+	Digest    string     `json:"digest"`
+	SpeedupV1 float64    `json:"speedup_vs_1"`
+}
+
+// sweepBlock is the sweep/v1 entry appended to BENCH_ingest.json.
+type sweepBlock struct {
+	Schema      string      `json:"schema"` // always "sweep/v1"
+	GeneratedAt string      `json:"generated_at"`
+	GoMaxProcs  int         `json:"gomaxprocs"`
+	NumCPU      int         `json:"num_cpu"`
+	Rows        int64       `json:"rows"`
+	Months      int         `json:"months"`
+	Reps        int         `json:"reps"`
+	Cells       []sweepCell `json:"cells"`
+
+	// AmdahlSerialFraction is the mean per-mode estimate of the serial
+	// share f from the wall-time worker curve: for each n>1,
+	// f_n = (T_n/T_1 - 1/n)/(1 - 1/n), clamped to [0,1]. f ≈ 0 is
+	// near-linear scaling; f ≈ 1 means the curve is flat (e.g. a
+	// single-core host, where GOMAXPROCS pins every worker to one CPU).
+	AmdahlSerialFraction map[string]float64 `json:"amdahl_serial_fraction"`
+
+	// ParityOK reports that every cell of a mode produced the same
+	// output digest across worker counts and repetitions. The sweep
+	// also fails hard when this is false.
+	ParityOK bool `json:"parity_ok"`
+}
+
+// runSweep executes the matrix. Trace files are derived from -path with
+// deterministic names (<path>.<rows>rows.<months>mo.txt and its
+// .colstore sibling) and reused when already present, so repeated
+// sweeps at the same shape skip the expensive generate/convert steps.
+func runSweep(a dispatchArgs) error {
+	workersList, err := parseInts(a.sweepWorkers)
+	if err != nil {
+		return fmt.Errorf("-sweep-workers: %w", err)
+	}
+	modes := strings.Split(a.sweepModes, ",")
+	reps := max(a.sweepReps, 1)
+	months := max(a.months, 1)
+
+	base := fmt.Sprintf("%s.%drows.%dmo.txt", strings.TrimSuffix(a.path, ".txt"), a.rows, months)
+	if _, err := os.Stat(base); err != nil {
+		log.Printf("generating %s", base)
+		if err := generate(base, a.rows, months, a.seed); err != nil {
+			return err
+		}
+	} else {
+		log.Printf("reusing %s", base)
+	}
+	cs := base + ".colstore"
+	needCS := false
+	for _, m := range modes {
+		if strings.TrimSpace(m) == "colstore" {
+			needCS = true
+		}
+	}
+	if needCS {
+		if _, err := os.Stat(cs); err != nil {
+			log.Printf("converting %s", cs)
+			if err := convertTrace(base, cs); err != nil {
+				return err
+			}
+		} else {
+			log.Printf("reusing %s", cs)
+		}
+	}
+
+	block := sweepBlock{
+		Schema:               "sweep/v1",
+		GeneratedAt:          time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:           runtime.GOMAXPROCS(0),
+		NumCPU:               runtime.NumCPU(),
+		Months:               months,
+		Reps:                 reps,
+		AmdahlSerialFraction: map[string]float64{},
+		ParityOK:             true,
+	}
+	var parityErr error
+	for _, mode := range modes {
+		mode = strings.TrimSpace(mode)
+		input := base
+		if mode == "colstore" {
+			input = cs
+		}
+		digests := map[string]bool{}
+		var cells []sweepCell
+		for _, w := range workersList {
+			cell := sweepCell{Mode: mode, Workers: w}
+			for rep := 0; rep < reps; rep++ {
+				runtime.GC()
+				t0 := time.Now()
+				res, err := measureCell(input, mode, w)
+				if err != nil {
+					return fmt.Errorf("sweep %s workers=%d: %w", mode, w, err)
+				}
+				wall := ms(time.Since(t0))
+				if cell.Digest == "" || wall < cell.WallMS {
+					cell.WallMS, cell.PhaseMS, cell.Digest = wall, res.PhaseMS, res.Digest
+				}
+				digests[res.Digest] = true
+				block.Rows = res.Rows
+				log.Printf("sweep mode=%s workers=%d rep=%d wall=%.1fms decode=%.1fms merge=%.1fms finalize=%.1fms",
+					mode, w, rep, wall, res.PhaseMS.DecodeMS, res.PhaseMS.MergeMS, res.PhaseMS.FinalizeMS)
+			}
+			cells = append(cells, cell)
+		}
+		if len(digests) > 1 {
+			block.ParityOK = false
+			parityErr = fmt.Errorf("sweep: mode %s output diverged across worker counts: %d distinct digests", mode, len(digests))
+		}
+		base1 := cells[0].WallMS
+		for i := range cells {
+			if cells[i].WallMS > 0 {
+				cells[i].SpeedupV1 = base1 / cells[i].WallMS
+			}
+		}
+		block.AmdahlSerialFraction[mode] = amdahlSerialFraction(cells)
+		block.Cells = append(block.Cells, cells...)
+	}
+
+	if a.jsonOut != "" {
+		if err := appendResult(a.jsonOut, block); err != nil {
+			return err
+		}
+		log.Printf("appended sweep/v1 block to %s", a.jsonOut)
+	}
+	for mode, f := range block.AmdahlSerialFraction {
+		fmt.Printf("sweep mode=%s amdahl_serial_fraction=%.3f parity_ok=%v\n", mode, f, block.ParityOK)
+	}
+	return parityErr
+}
+
+// amdahlSerialFraction fits the serial share from a mode's wall-time
+// curve, relative to the lowest worker count measured. Returns 1 (fully
+// serial) when no multi-worker point exists.
+func amdahlSerialFraction(cells []sweepCell) float64 {
+	if len(cells) == 0 || cells[0].WallMS <= 0 {
+		return 1
+	}
+	t1, n1 := cells[0].WallMS, float64(cells[0].Workers)
+	var sum float64
+	var count int
+	for _, c := range cells[1:] {
+		n := float64(c.Workers) / n1 // scale relative to the baseline width
+		if n <= 1 || c.WallMS <= 0 {
+			continue
+		}
+		f := (c.WallMS/t1 - 1/n) / (1 - 1/n)
+		f = min(max(f, 0), 1)
+		sum += f
+		count++
+	}
+	if count == 0 {
+		return 1
+	}
+	return sum / float64(count)
+}
+
+// parseInts parses a comma-separated list of positive ints.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("worker count %d out of range", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

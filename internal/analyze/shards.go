@@ -48,7 +48,27 @@ func (s *ShardSet) Len() int {
 // MergeInto folds every shard into dst in ascending chunk index. Call
 // it after the parallel decode has finished; the result is bit-exact
 // with observing the whole file sequentially into dst.
-func (s *ShardSet) MergeInto(dst *Bundle) {
+func (s *ShardSet) MergeInto(dst *Bundle) { s.MergeIntoN(dst, 1) }
+
+// MergeIntoN is MergeInto over up to `workers` concurrent pairwise
+// merges (tree-reduce, see TreeMerge). The result is bit-exact with
+// MergeInto at every worker count; workers ≤ 1 is the linear fold.
+func (s *ShardSet) MergeIntoN(dst *Bundle, workers int) {
+	ordered := s.ordered()
+	if len(ordered) == 0 {
+		return
+	}
+	if workers <= 1 || len(ordered) == 1 {
+		for _, b := range ordered {
+			dst.Merge(b)
+		}
+		return
+	}
+	dst.Merge(TreeMerge(s.bucket, ordered, workers))
+}
+
+// ordered snapshots the shard bundles in ascending chunk index.
+func (s *ShardSet) ordered() []*Bundle {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	max := -1
@@ -57,9 +77,11 @@ func (s *ShardSet) MergeInto(dst *Bundle) {
 			max = i
 		}
 	}
+	out := make([]*Bundle, 0, len(s.shards))
 	for i := 0; i <= max; i++ {
 		if b, ok := s.shards[i]; ok {
-			dst.Merge(b)
+			out = append(out, b)
 		}
 	}
+	return out
 }

@@ -1,0 +1,142 @@
+package analyze
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// chunkBundles partitions the golden trace into n contiguous bundles,
+// the shape of per-chunk (or per-period) partial results.
+func chunkBundles(t *testing.T, bucket time.Duration, n int) []*Bundle {
+	t.Helper()
+	recs := goldenTrace(t)
+	per := (len(recs) + n - 1) / n
+	var out []*Bundle
+	for lo := 0; lo < len(recs); lo += per {
+		hi := min(lo+per, len(recs))
+		b := NewBundle(bucket)
+		for i := lo; i < hi; i++ {
+			b.Observe(&recs[i])
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// figureSurfaces renders every byte-exact figure surface of a bundle.
+func figureSurfaces(t *testing.T, b *Bundle) map[string]string {
+	t.Helper()
+	return map[string]string{
+		"Volume":   mustJSON(t, b.Volume.Result()),
+		"Scale":    mustJSON(t, b.Scale.Result()),
+		"Waits":    mustJSON(t, b.Waits.Result()),
+		"Users":    mustJSON(t, b.Users.Result(50)),
+		"Backfill": mustJSON(t, b.Backfill.Result()),
+		"Timeline": mustJSON(t, b.Timeline.Result()),
+	}
+}
+
+// TestTreeMergeMatchesLinearFold pins the tree-reduce parity contract:
+// at every worker count and input count, TreeMerge must reproduce the
+// linear fold's figure surfaces byte-exactly, and its float summary
+// accumulators within rounding distance (their partial sums regroup).
+func TestTreeMergeMatchesLinearFold(t *testing.T) {
+	bucket := 6 * time.Hour
+	for _, chunks := range []int{1, 2, 3, 7, 16} {
+		bs := chunkBundles(t, bucket, chunks)
+		linear := NewBundle(bucket)
+		for _, b := range bs {
+			linear.Merge(b)
+		}
+		want := figureSurfaces(t, linear)
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := TreeMerge(bucket, bs, workers)
+			if got.Records != linear.Records || got.Jobs != linear.Jobs {
+				t.Fatalf("chunks=%d workers=%d: counters %d/%d != %d/%d",
+					chunks, workers, got.Records, got.Jobs, linear.Records, linear.Jobs)
+			}
+			for name, surface := range figureSurfaces(t, got) {
+				if surface != want[name] {
+					t.Errorf("chunks=%d workers=%d: %s diverges from the linear fold", chunks, workers, name)
+				}
+			}
+			if rel := relDiff(got.Reclaim.Result(), linear.Reclaim.Result()); rel > 1e-12 {
+				t.Errorf("chunks=%d workers=%d: Reclaim off by %g relative", chunks, workers, rel)
+			}
+		}
+	}
+}
+
+// TestTreeMergeLeavesInputsUnmutated pins the retry-safety contract: a
+// combine task that fails and reruns must see its per-period bundles
+// exactly as they were.
+func TestTreeMergeLeavesInputsUnmutated(t *testing.T) {
+	bucket := 6 * time.Hour
+	bs := chunkBundles(t, bucket, 5)
+	before := make([]string, len(bs))
+	counts := make([]int64, len(bs))
+	for i, b := range bs {
+		before[i] = mustJSON(t, b.Timeline.Result())
+		counts[i] = b.Records
+	}
+	first := TreeMerge(bucket, bs, 4)
+	for i, b := range bs {
+		if b.Records != counts[i] {
+			t.Fatalf("input %d Records mutated: %d -> %d", i, counts[i], b.Records)
+		}
+		if got := mustJSON(t, b.Timeline.Result()); got != before[i] {
+			t.Fatalf("input %d timeline mutated by TreeMerge", i)
+		}
+	}
+	// A second pass over the same inputs reproduces the first.
+	second := TreeMerge(bucket, bs, 4)
+	if mustJSON(t, second.Timeline.Result()) != mustJSON(t, first.Timeline.Result()) {
+		t.Fatal("re-running TreeMerge over the same inputs diverged")
+	}
+}
+
+// TestShardSetMergeIntoNMatchesMergeInto pins that the parallel shard
+// fold is indistinguishable from the sequential one at every width.
+func TestShardSetMergeIntoNMatchesMergeInto(t *testing.T) {
+	bucket := 6 * time.Hour
+	recs := goldenTrace(t)
+	build := func() *ShardSet {
+		s := NewShardSet(bucket)
+		const chunks = 9
+		per := (len(recs) + chunks - 1) / chunks
+		for c := 0; c*per < len(recs); c++ {
+			sb := s.Shard(c)
+			for i := c * per; i < min((c+1)*per, len(recs)); i++ {
+				sb.Observe(&recs[i])
+			}
+		}
+		return s
+	}
+	seq := NewBundle(bucket)
+	build().MergeInto(seq)
+	want := figureSurfaces(t, seq)
+	for _, workers := range []int{2, 4, 8} {
+		got := NewBundle(bucket)
+		build().MergeIntoN(got, workers)
+		if got.Records != seq.Records || got.Jobs != seq.Jobs {
+			t.Fatalf("workers=%d: counters differ", workers)
+		}
+		for name, surface := range figureSurfaces(t, got) {
+			if surface != want[name] {
+				t.Errorf("workers=%d: %s diverges from MergeInto", workers, name)
+			}
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}

@@ -14,6 +14,7 @@ import (
 // curation report.
 func TestWorkflowParallelIngestMatchesSequential(t *testing.T) {
 	seqCfg := baseConfig(t)
+	seqCfg.IngestWorkers = 1 // pin the sequential baseline (0 = auto)
 	seqArt, err := Run(context.Background(), seqCfg)
 	if err != nil {
 		t.Fatal(err)

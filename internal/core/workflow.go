@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"slurmsight/internal/llm"
 	"slurmsight/internal/obs"
 	"slurmsight/internal/plot"
+	"slurmsight/internal/pool"
 	"slurmsight/internal/raster"
 	"slurmsight/internal/sacct"
 	"slurmsight/internal/slurm"
@@ -41,10 +43,14 @@ type Config struct {
 	Workers int // dataflow concurrency (default 4)
 
 	// IngestWorkers sets how many chunks each period file is split into
-	// and decoded concurrently during the curate stage. 1 (the default)
-	// keeps the sequential streaming path; higher values use the
-	// parallel chunked byte decoder, whose sidecars and figure data are
-	// byte-identical to the sequential ones.
+	// and decoded concurrently during the curate stage. 0 (the default)
+	// resolves to runtime.GOMAXPROCS(0); 1 keeps the sequential
+	// streaming path; higher values use the parallel chunked byte
+	// decoder, whose sidecars and figure data are byte-identical to the
+	// sequential ones at every worker count. Concurrent period tasks
+	// share one pool of GOMAXPROCS borrowable decode slots (each task
+	// keeps one guaranteed slot), so many periods in flight narrow each
+	// other instead of oversubscribing the host.
 	IngestWorkers int
 
 	TopUsers                int // users shown in the states figure (default 50)
@@ -94,7 +100,9 @@ func (c *Config) withDefaults() Config {
 	if out.Workers <= 0 {
 		out.Workers = 4
 	}
-	if out.IngestWorkers <= 0 {
+	if out.IngestWorkers == 0 {
+		out.IngestWorkers = runtime.GOMAXPROCS(0)
+	} else if out.IngestWorkers < 0 {
 		out.IngestWorkers = 1
 	}
 	if out.TopUsers <= 0 {
@@ -278,6 +286,13 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 		perPeriod: make([]*analyze.Bundle, len(periods)),
 		perReport: make([]curate.Report, len(periods)),
 	}
+	// One shared budget of borrowable decode slots for every concurrent
+	// period task: each task keeps a guaranteed decoder and borrows up
+	// to IngestWorkers-1 more, so Workers × IngestWorkers in-flight
+	// goroutines collapse to at most Workers + GOMAXPROCS decoders.
+	ingestPool := pool.New(runtime.GOMAXPROCS(0))
+	cfg.Metrics.Gauge("ingest_workers_resolved").Set(int64(cfg.IngestWorkers))
+	cfg.Metrics.Gauge("ingest_pool_budget").Set(int64(ingestPool.Budget()))
 	art := &Artifacts{Figures: map[string]*FigureResult{}}
 	fetcher := &sacct.Fetcher{Store: cfg.Store, CacheDir: cfg.CacheDir, Workers: cfg.Workers}
 
@@ -335,6 +350,7 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 					// order so the figure data is bit-exact with the
 					// sequential path.
 					opts.Workers = cfg.IngestWorkers
+					opts.Pool = ingestPool
 					shards := analyze.NewShardSet(timelineBucket)
 					chunks, err := curate.StreamFileParallel(periodPath(p), csv, opts, &rep,
 						func(chunk int) func(*slurm.Record) bool {
@@ -347,11 +363,16 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 					if err != nil {
 						return err
 					}
-					shards.MergeInto(b)
+					shards.MergeIntoN(b, cfg.IngestWorkers)
+					// The shard bundles are uninstrumented (lock-free
+					// observe path); account their records here so the
+					// counter matches the sequential path's exactly.
+					cfg.Metrics.Counter("analyze_records_observed_total").Add(b.Records)
 					annotate(ctx, "curate", "period", p,
 						"rows_kept", fmt.Sprint(rep.Kept),
 						"rows_malformed", fmt.Sprint(rep.Malformed),
-						"ingest_chunks", fmt.Sprint(chunks))
+						"ingest_chunks", fmt.Sprint(chunks),
+						"ingest_workers", fmt.Sprint(cfg.IngestWorkers))
 				} else {
 					for rec, err := range curate.StreamFile(periodPath(p), csv, opts, &rep) {
 						if err != nil {
@@ -384,13 +405,18 @@ func Run(ctx context.Context, cfg Config) (*Artifacts, error) {
 			merged := analyze.NewBundle(timelineBucket)
 			merged.Instrument(cfg.Metrics)
 			var rep curate.Report
+			var bundles []*analyze.Bundle
 			for i, b := range st.perPeriod {
 				if b == nil {
 					continue // period failed under ContinueOnError
 				}
-				merged.Merge(b)
+				bundles = append(bundles, b)
 				rep.Add(st.perReport[i])
 			}
+			// Pairwise parallel fold in period order: bit-exact with the
+			// linear fold (merge is associative over ordered runs) and
+			// the inputs stay unmutated, so a retried attempt is safe.
+			merged.Merge(analyze.TreeMerge(timelineBucket, bundles, cfg.IngestWorkers))
 			// Warm the timeline cache while combine holds the barrier:
 			// downstream plot tasks run concurrently and may only read.
 			merged.Timeline.Result()

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"slurmsight/internal/obs"
+	"slurmsight/internal/pool"
 	"slurmsight/internal/slurm"
 )
 
@@ -36,6 +37,13 @@ type Options struct {
 	// single chunk (the whole data region) on the same zero-alloc byte
 	// decode path. Ignored by the sequential Stream/StreamFile.
 	Workers int
+	// Pool, when non-nil, is the shared ingest-worker budget that
+	// concurrent period tasks borrow extra decoders from: each
+	// StreamFileParallel always runs at least one decoder (its own
+	// goroutine) and borrows up to Workers-1 more, non-blocking, so
+	// the decode width adapts to how many periods are in flight. Nil
+	// grants every requested worker.
+	Pool *pool.Pool
 }
 
 // DefaultOptions matches the paper's preprocessing.

@@ -92,10 +92,23 @@ func StreamFileParallel(inPath, csvPath string, opts Options, rep *Report, shard
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	nw := min(workers, chunks)
+	// Borrow the extra decoders from the shared pool: the first worker
+	// is this task's guaranteed slot, each one beyond it runs only if
+	// the pool grants a slot right now. A busy pool narrows the stream
+	// rather than queueing it; slots return as each worker finishes.
+	granted := 1
+	for granted < nw && opts.Pool.TryAcquire() {
+		granted++
+	}
+	nw = granted
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
+		borrowed := w > 0 && opts.Pool != nil
 		go func() {
 			defer wg.Done()
+			if borrowed {
+				defer opts.Pool.Release()
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= chunks {

@@ -1,0 +1,77 @@
+// Package pool provides a shared, non-blocking worker-slot budget for
+// the ingest plane. Concurrent period-curation tasks each get one
+// guaranteed decode slot (their own goroutine) and borrow extra slots
+// from a process-wide pool, so many periods × many chunks neither
+// oversubscribes a laptop nor undersubscribes a 64-core node: total
+// extra decoders across every borrower never exceeds the budget, and a
+// borrower that finds the pool empty simply runs narrower instead of
+// queueing.
+package pool
+
+import "sync/atomic"
+
+// Pool is a fixed budget of borrowable worker slots. The zero-value
+// pointer (nil) means "unlimited": TryAcquire always grants, Release is
+// a no-op — callers never need to nil-check.
+type Pool struct {
+	budget int
+	free   atomic.Int64
+}
+
+// New returns a pool with the given number of borrowable slots. A
+// budget below zero is treated as zero (nothing borrowable; every
+// caller runs on its guaranteed slot alone). For an unlimited pool use
+// a nil *Pool instead.
+func New(budget int) *Pool {
+	if budget < 0 {
+		budget = 0
+	}
+	p := &Pool{budget: budget}
+	p.free.Store(int64(budget))
+	return p
+}
+
+// Budget returns the pool's total borrowable slots; 0 for nil
+// (unlimited) pools.
+func (p *Pool) Budget() int {
+	if p == nil {
+		return 0
+	}
+	return p.budget
+}
+
+// TryAcquire takes one slot if any is free, without blocking. A nil
+// pool always grants.
+func (p *Pool) TryAcquire() bool {
+	if p == nil {
+		return true
+	}
+	for {
+		n := p.free.Load()
+		if n <= 0 {
+			return false
+		}
+		if p.free.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// Release returns one previously acquired slot. A nil pool is a no-op.
+// Releasing more than was acquired is a caller bug; the pool does not
+// guard against it.
+func (p *Pool) Release() {
+	if p == nil {
+		return
+	}
+	p.free.Add(1)
+}
+
+// Free reports the currently borrowable slots (for logs and gauges);
+// 0 for nil pools.
+func (p *Pool) Free() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.free.Load())
+}

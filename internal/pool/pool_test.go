@@ -1,0 +1,112 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilPoolIsUnlimited(t *testing.T) {
+	var p *Pool
+	for i := 0; i < 100; i++ {
+		if !p.TryAcquire() {
+			t.Fatal("nil pool refused a slot")
+		}
+	}
+	p.Release() // no-op, must not panic
+	if p.Budget() != 0 || p.Free() != 0 {
+		t.Fatal("nil pool reports a nonzero budget")
+	}
+}
+
+func TestAcquireRelease(t *testing.T) {
+	p := New(2)
+	if p.Budget() != 2 || p.Free() != 2 {
+		t.Fatalf("budget/free = %d/%d, want 2/2", p.Budget(), p.Free())
+	}
+	if !p.TryAcquire() || !p.TryAcquire() {
+		t.Fatal("could not drain a fresh pool")
+	}
+	if p.TryAcquire() {
+		t.Fatal("acquired beyond the budget")
+	}
+	p.Release()
+	if p.Free() != 1 {
+		t.Fatalf("free = %d after release, want 1", p.Free())
+	}
+	if !p.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+func TestZeroAndNegativeBudget(t *testing.T) {
+	for _, budget := range []int{0, -5} {
+		p := New(budget)
+		if p.Budget() != 0 {
+			t.Fatalf("New(%d).Budget() = %d, want 0", budget, p.Budget())
+		}
+		if p.TryAcquire() {
+			t.Fatalf("New(%d) granted a slot", budget)
+		}
+	}
+}
+
+// TestConcurrentAcquireNeverOversubscribes hammers the pool from many
+// goroutines and checks the invariant the ingest plane relies on: the
+// number of held slots never exceeds the budget.
+func TestConcurrentAcquireNeverOversubscribes(t *testing.T) {
+	const budget = 4
+	p := New(budget)
+	var held, peak, over sync2Int
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if p.TryAcquire() {
+					h := held.add(1)
+					peak.max(h)
+					if h > budget {
+						over.add(1)
+					}
+					held.add(-1)
+					p.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if over.load() != 0 {
+		t.Fatalf("budget exceeded %d times (peak %d > %d)", over.load(), peak.load(), budget)
+	}
+	if p.Free() != budget {
+		t.Fatalf("free = %d after all releases, want %d", p.Free(), budget)
+	}
+}
+
+// sync2Int is a tiny atomic int with a max helper for the test above.
+type sync2Int struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (s *sync2Int) add(d int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.v += d
+	return s.v
+}
+
+func (s *sync2Int) max(v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v > s.v {
+		s.v = v
+	}
+}
+
+func (s *sync2Int) load() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v
+}

@@ -177,16 +177,17 @@ func (s *Store) materializeLocked(ctx context.Context, m Month) error {
 // Warm materialises every lazy shard up front, trading startup time
 // for uniform in-memory scan latency — the right call for an always-on
 // query service, where the first client should not pay the decode.
+// Shards decode concurrently over the store's decode pool (see
+// SetDecodeWorkers); the warmed store is identical to a sequential
+// warm's at every worker count.
 func (s *Store) Warm() error { return s.materializeAll() }
 
-// materializeAll decodes every remaining lazy shard.
+// WarmCtx is Warm under a request context: when ctx carries an active
+// obs span, each shard decode reports itself under it.
+func (s *Store) WarmCtx(ctx context.Context) error { return s.warmMonths(ctx, nil) }
+
+// materializeAll decodes every remaining lazy shard over the decode
+// pool.
 func (s *Store) materializeAll() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for m := range s.lazy {
-		if err := s.materializeLocked(context.Background(), m); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.warmMonths(context.Background(), nil)
 }

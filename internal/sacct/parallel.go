@@ -1,0 +1,205 @@
+package sacct
+
+import (
+	"context"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"slurmsight/internal/sacct/colstore"
+	"slurmsight/internal/slurm"
+)
+
+// This file is the store's multi-core decode plane: lazy binary shards
+// are independent mmap column regions, so Warm, full-Scan
+// materialisation, and projected scans all decode per-shard over a
+// bounded worker pool. Results install (or stream) in month order, so
+// every output stays byte-identical to the sequential path — the
+// parity property the parallel tests pin at workers 1/2/4/8.
+
+// SetDecodeWorkers sets how many shards the store decodes concurrently
+// when a Warm, Dump, or Scan has to materialise more than one lazy
+// month: 0 (the default) resolves to runtime.GOMAXPROCS(0), 1 forces
+// the sequential path, higher values cap the pool. Safe to call
+// concurrently with readers.
+func (s *Store) SetDecodeWorkers(n int) { s.decWorkers.Store(int32(n)) }
+
+// DecodeWorkers returns the resolved shard-decode concurrency.
+func (s *Store) DecodeWorkers() int {
+	n := int(s.decWorkers.Load())
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// lazyTarget is one shard picked for parallel materialisation.
+type lazyTarget struct {
+	m  Month
+	sh *colstore.Shard
+}
+
+// warmMonths materialises the given lazy months (nil = every lazy
+// month) decoding up to DecodeWorkers shards concurrently. Decodes run
+// outside the store lock; results install under one lock in month
+// order, and a shard whose materialisation lost a race to a concurrent
+// Add/Warm is dropped rather than installed over newer data. The first
+// error in month order is returned; failed or skipped shards stay lazy,
+// so a later sequential pass re-surfaces the error at the exact shard
+// the sequential path would have.
+func (s *Store) warmMonths(ctx context.Context, months []Month) error {
+	s.mu.RLock()
+	var targets []lazyTarget
+	if months == nil {
+		for m, sh := range s.lazy {
+			targets = append(targets, lazyTarget{m: m, sh: sh})
+		}
+	} else {
+		for _, m := range months {
+			if sh, ok := s.lazy[m]; ok {
+				targets = append(targets, lazyTarget{m: m, sh: sh})
+			}
+		}
+	}
+	s.mu.RUnlock()
+	if len(targets) == 0 {
+		return nil
+	}
+	slices.SortFunc(targets, func(a, b lazyTarget) int { return a.m.Compare(b.m) })
+
+	workers := min(s.DecodeWorkers(), len(targets))
+	if workers <= 1 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, t := range targets {
+			if err := s.materializeLocked(ctx, t.m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type decoded struct {
+		recs []slurm.Record
+		err  error
+	}
+	results := make([]decoded, len(targets))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(targets) || failed.Load() {
+					return
+				}
+				recs, err := targets[i].sh.DecodeAllCtx(ctx)
+				if err != nil {
+					failed.Store(true)
+					results[i] = decoded{err: err}
+					continue
+				}
+				if !targets[i].sh.Sorted() {
+					slices.SortStableFunc(recs, recordCmp)
+				}
+				results[i] = decoded{recs: recs}
+			}
+		}()
+	}
+	wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for i, t := range targets {
+		if firstErr == nil && results[i].err != nil {
+			firstErr = results[i].err
+		}
+		if results[i].recs == nil {
+			continue // failed or skipped: stays lazy
+		}
+		sh, still := s.lazy[t.m]
+		if !still || sh != t.sh {
+			continue // a concurrent materialisation won; keep its view
+		}
+		s.shards[t.m] = results[i].recs
+		s.sorted[t.m] = true
+		if minT, maxT, hasRows := t.sh.SubmitRange(); hasRows {
+			s.ranges[t.m] = shardRange{min: minT.UnixNano(), max: maxT.UnixNano()}
+		}
+		delete(s.lazy, t.m)
+	}
+	return firstErr
+}
+
+// shardViewResult is one month's resolved view in the ordered prefetch
+// pipeline.
+type shardViewResult struct {
+	recs   []slurm.Record
+	sorted bool
+	err    error
+}
+
+// prefetchViews decodes the months' shard views up to `workers` ahead
+// of the consumer, preserving month order. The consume callback
+// receives each view exactly in the order of `months`; returning false
+// stops the pipeline (in-flight decodes finish and are dropped). The
+// credit channel bounds decoded-but-unconsumed shards to `workers`, so
+// a projected scan over hundreds of months holds at most a pool's
+// worth of transient column decodes in memory.
+func (s *Store) prefetchViews(ctx context.Context, months []Month, proj []string, workers int, consume func(shardViewResult) bool) {
+	credits := make(chan struct{}, workers)
+	for i := 0; i < workers; i++ {
+		credits <- struct{}{}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Join the workers before returning: an early-stopping consumer must
+	// not leave a decode running against the mmap, or a Close right
+	// after the scan would unmap memory mid-read. Result channels are
+	// buffered and each index is sent exactly once, so every worker
+	// reaches the stop check; LIFO order runs close(stop) first.
+	defer wg.Wait()
+	defer close(stop)
+	out := make([]chan shardViewResult, len(months))
+	for i := range out {
+		out[i] = make(chan shardViewResult, 1)
+	}
+	var next atomic.Int64
+	for w := 0; w < min(workers, len(months)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-credits:
+				case <-stop:
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(months) {
+					return
+				}
+				recs, sorted, err := s.shardView(ctx, months[i], proj)
+				out[i] <- shardViewResult{recs: recs, sorted: sorted, err: err}
+			}
+		}()
+	}
+	for i := range months {
+		v := <-out[i]
+		if !consume(v) {
+			return
+		}
+		select {
+		case credits <- struct{}{}:
+		default:
+		}
+	}
+}

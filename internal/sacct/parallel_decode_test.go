@@ -1,0 +1,172 @@
+package sacct
+
+import (
+	"bytes"
+	"testing"
+)
+
+// parityQueries is the worker-parity workload: full scans, projected
+// scans (the prefetch pipeline), range restrictions, and filters.
+func parityQueries() []Query {
+	return []Query{
+		{},                   // jobs only, full materialise path
+		{IncludeSteps: true}, // everything
+		{Fields: []string{"JobID", "User", "State"}},                            // projected prefetch
+		{Fields: []string{"JobID", "Submit", "Elapsed"}, IncludeSteps: true},    // projected, steps
+		{Start: base.AddDate(0, 0, 20), End: base.AddDate(0, 0, 80)},            // month subset
+		{State: "COMPLETED", Fields: []string{"User", "NNodes", "Elapsed"}},     // filter + projection
+		{User: "u03", Start: base.AddDate(0, 0, 5), End: base.AddDate(0, 2, 0)}, // narrow
+	}
+}
+
+// openBinaryWorkers reopens the dump with a given decode width.
+func openBinaryWorkers(t *testing.T, path string, workers int) *Store {
+	t.Helper()
+	bin, err := OpenBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bin.Close() })
+	bin.SetDecodeWorkers(workers)
+	return bin
+}
+
+// TestParallelScanParity pins the tentpole contract: at every decode
+// width, every query over a lazy binary store yields byte-identical
+// output to the in-memory text store — parallel decode must be an
+// invisible optimisation. Each width gets a fresh store so its scans
+// hit the lazy (parallel) path, not shards warmed by a previous width.
+func TestParallelScanParity(t *testing.T) {
+	st, _ := buildStore(t, 100) // 4 month shards
+	path := dumpBinary(t, st)
+	for _, workers := range []int{1, 2, 4, 8} {
+		bin := openBinaryWorkers(t, path, workers)
+		for i, q := range parityQueries() {
+			want := queryText(t, st, q)
+			if got := queryText(t, bin, q); got != want {
+				t.Fatalf("workers=%d query %d: output diverges from text store", workers, i)
+			}
+		}
+	}
+}
+
+// TestParallelWarmParity pins that a parallel Warm installs exactly the
+// shards a sequential Warm would: afterwards every query is served warm
+// and still matches the text store byte for byte.
+func TestParallelWarmParity(t *testing.T) {
+	st, _ := buildStore(t, 100)
+	path := dumpBinary(t, st)
+	for _, workers := range []int{1, 2, 4, 8} {
+		bin := openBinaryWorkers(t, path, workers)
+		if err := bin.Warm(); err != nil {
+			t.Fatalf("workers=%d: Warm: %v", workers, err)
+		}
+		if bin.hasLazy() {
+			t.Fatalf("workers=%d: lazy shards remain after Warm", workers)
+		}
+		for i, q := range parityQueries() {
+			if got, want := queryText(t, bin, q), queryText(t, st, q); got != want {
+				t.Fatalf("workers=%d query %d: warm output diverges", workers, i)
+			}
+		}
+	}
+}
+
+// TestParallelWriteNEarlyStop exercises the prefetch pipeline's early
+// shutdown: a consumer that stops after a handful of rows must see the
+// same prefix the sequential path produces, with no goroutine leak or
+// deadlock (the race detector and test timeout police the rest).
+func TestParallelWriteNEarlyStop(t *testing.T) {
+	st, _ := buildStore(t, 100)
+	path := dumpBinary(t, st)
+	q := Query{Fields: []string{"JobID", "User", "State"}, IncludeSteps: true}
+	for _, limit := range []int{1, 7, 100} {
+		var want bytes.Buffer
+		seq := openBinaryWorkers(t, path, 1)
+		if _, err := seq.WriteN(&want, q, limit); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			bin := openBinaryWorkers(t, path, workers)
+			var got bytes.Buffer
+			n, err := bin.WriteN(&got, q, limit)
+			if err != nil {
+				t.Fatalf("workers=%d limit=%d: %v", workers, limit, err)
+			}
+			if n != limit {
+				t.Fatalf("workers=%d limit=%d: wrote %d rows", workers, limit, n)
+			}
+			if got.String() != want.String() {
+				t.Fatalf("workers=%d limit=%d: prefix diverges from sequential", workers, limit)
+			}
+		}
+	}
+}
+
+// TestParallelCorruptShardErrorParity pins the error contract: a shard
+// that fails to decode surfaces the same error at the same point in the
+// stream regardless of decode width, for both the full-materialise and
+// the projected prefetch path, and healthy months stay readable.
+func TestParallelCorruptShardErrorParity(t *testing.T) {
+	st, _ := buildStore(t, 100)
+	path := dumpBinary(t, st)
+	corruptFirstColumn(t, path)
+
+	queries := []Query{
+		{IncludeSteps: true}, // full materialise
+		{Fields: []string{"JobID", "User"}, IncludeSteps: true}, // projected prefetch
+	}
+	for qi, q := range queries {
+		var wantErr string
+		var wantOut string
+		{
+			seq := openBinaryWorkers(t, path, 1)
+			var buf bytes.Buffer
+			_, err := seq.Write(&buf, q)
+			if err == nil {
+				t.Fatalf("query %d: sequential scan of corrupt shard succeeded", qi)
+			}
+			wantErr, wantOut = err.Error(), buf.String()
+		}
+		for _, workers := range []int{2, 4, 8} {
+			bin := openBinaryWorkers(t, path, workers)
+			var buf bytes.Buffer
+			_, err := bin.Write(&buf, q)
+			if err == nil {
+				t.Fatalf("workers=%d query %d: scan of corrupt shard succeeded", workers, qi)
+			}
+			if err.Error() != wantErr {
+				t.Fatalf("workers=%d query %d: error %q, want %q", workers, qi, err, wantErr)
+			}
+			if buf.String() != wantOut {
+				t.Fatalf("workers=%d query %d: pre-error output diverges from sequential", workers, qi)
+			}
+
+			// Healthy months after the corrupt one stay readable.
+			months := bin.Months()
+			last := months[len(months)-1]
+			healthy := Query{Start: last.Start(), End: last.Next().Start()}
+			want := queryText(t, st, healthy)
+			if got := queryText(t, bin, healthy); got != want {
+				t.Fatalf("workers=%d: healthy month diverges after corrupt-shard error", workers)
+			}
+		}
+	}
+}
+
+// TestDecodeWorkersResolution pins the knob semantics: 0 means auto
+// (GOMAXPROCS), negatives clamp to 1.
+func TestDecodeWorkersResolution(t *testing.T) {
+	var s Store
+	if got := s.DecodeWorkers(); got < 1 {
+		t.Fatalf("default DecodeWorkers = %d, want >= 1", got)
+	}
+	s.SetDecodeWorkers(-3)
+	if got := s.DecodeWorkers(); got != 1 {
+		t.Fatalf("DecodeWorkers(-3) = %d, want 1", got)
+	}
+	s.SetDecodeWorkers(6)
+	if got := s.DecodeWorkers(); got != 6 {
+		t.Fatalf("DecodeWorkers(6) = %d, want 6", got)
+	}
+}

@@ -183,6 +183,14 @@ func (s *Store) ScanCtx(ctx context.Context, q Query) slurm.RecordSeq {
 // uncached) instead of materialising. Projected records have every
 // unprojected field zero, so proj must cover the query's filter fields —
 // projection for a Write field selection is computed by Query.columns.
+//
+// When the store's decode pool allows more than one worker and several
+// lazy shards are in play, shard decodes run concurrently: a full scan
+// parallel-materialises the overlapping lazy months up front, and a
+// projected scan decodes shards up to a pool's width ahead of the
+// consumer. Both stream months in order, so the yielded sequence is
+// identical to the sequential path's at every worker count — including
+// where a corrupt shard's error surfaces.
 func (s *Store) scan(ctx context.Context, q Query, proj []string) slurm.RecordSeq {
 	return func(yield func(*slurm.Record, error) bool) {
 		sp := obs.SpanFromContext(ctx).Child("store-scan")
@@ -200,16 +208,16 @@ func (s *Store) scan(ctx context.Context, q Query, proj []string) slurm.RecordSe
 			yield(nil, err)
 			return
 		}
+		var months []Month
 		for _, m := range s.monthsIn(&q) {
-			if !s.shardOverlaps(m, &q) {
-				continue
+			if s.shardOverlaps(m, &q) {
+				months = append(months, m)
 			}
-			shard, sorted, err := s.shardView(ctx, m, proj)
-			if err != nil {
-				sp.SetAttr("error", err.Error())
-				yield(nil, err)
-				return
-			}
+		}
+		// stop distinguishes an early consumer stop from shard
+		// exhaustion across both emit paths.
+		stop := false
+		emit := func(shard []slurm.Record, sorted bool) bool {
 			shards++
 			lo, hi := s.window(shard, sorted, &q)
 			for i := lo; i < hi; i++ {
@@ -218,11 +226,63 @@ func (s *Store) scan(ctx context.Context, q Query, proj []string) slurm.RecordSe
 				}
 				rows++
 				if !yield(&shard[i], nil) {
-					return
+					stop = true
+					return false
 				}
+			}
+			return true
+		}
+		if workers := s.DecodeWorkers(); workers > 1 && len(months) > 1 && s.hasLazy() {
+			if proj == nil {
+				// Parallel-materialise the lazy overlapping months up
+				// front. A decode error is deliberately dropped here:
+				// the failing shard stays lazy, and the in-order loop
+				// below re-surfaces the error at exactly the shard the
+				// sequential path would have.
+				_ = s.warmMonths(ctx, s.lazyAmong(months))
+			} else {
+				// Ordered prefetch: transient projected decodes run up
+				// to a pool's width ahead of the consumer.
+				s.prefetchViews(ctx, months, proj, workers, func(v shardViewResult) bool {
+					if v.err != nil {
+						sp.SetAttr("error", v.err.Error())
+						yield(nil, v.err)
+						stop = true
+						return false
+					}
+					return emit(v.recs, v.sorted)
+				})
+				return
+			}
+		}
+		for _, m := range months {
+			if stop {
+				return
+			}
+			shard, sorted, err := s.shardView(ctx, m, proj)
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+				yield(nil, err)
+				return
+			}
+			if !emit(shard, sorted) {
+				return
 			}
 		}
 	}
+}
+
+// lazyAmong filters months down to those still lazy on disk.
+func (s *Store) lazyAmong(months []Month) []Month {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Month, 0, len(months))
+	for _, m := range months {
+		if _, ok := s.lazy[m]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // Select returns matching records (copies) in shard order. It is a

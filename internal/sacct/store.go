@@ -93,6 +93,10 @@ type Store struct {
 	bin  *colstore.File            // backing columnar file; nil for text stores
 
 	gen atomic.Uint64 // bumped on every successful logical mutation
+
+	// decWorkers caps concurrent shard decodes (0 = GOMAXPROCS); see
+	// SetDecodeWorkers in parallel.go.
+	decWorkers atomic.Int32
 }
 
 // shardRange is a shard's actual submit extent in unix nanoseconds,
